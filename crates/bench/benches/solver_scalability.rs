@@ -1,0 +1,120 @@
+//! Solver scalability (paper Section IV-C): step-1 MILP solve time versus
+//! data-center count at 5 price levels and 1e8 requests. The paper reports
+//! lp_solve finishing within ~2 ms for 13 sites; this bench records the
+//! equivalent numbers for the in-tree solver.
+
+use billcap_core::CostMinimizer;
+use billcap_milp::{LpSolver, MipSolver, NodeSelection};
+use billcap_sim::experiments::synthetic_system;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn backgrounds(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 330.0 + 40.0 * (i % 3) as f64).collect()
+}
+
+fn bench_step1_by_sites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step1_milp_by_sites");
+    for n in [3usize, 5, 8, 13] {
+        let system = synthetic_system(n);
+        let d = backgrounds(n);
+        let minimizer = CostMinimizer::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let alloc = minimizer
+                    .solve(black_box(&system), black_box(1e8), black_box(&d))
+                    .expect("feasible");
+                black_box(alloc.total_cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_step1_by_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step1_milp_by_load");
+    let system = synthetic_system(3);
+    let d = backgrounds(3);
+    let minimizer = CostMinimizer::default();
+    for lambda in [1e7, 1e8, 5e8, 1.2e9] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{lambda:.0e}")),
+            &lambda,
+            |b, &lambda| {
+                b.iter(|| {
+                    let alloc = minimizer
+                        .solve(black_box(&system), black_box(lambda), black_box(&d))
+                        .expect("feasible");
+                    black_box(alloc.total_cost)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_solver_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_variants");
+    let system = synthetic_system(3);
+    let d = backgrounds(3);
+
+    group.bench_function("best_bound", |b| {
+        let minimizer = CostMinimizer::default();
+        b.iter(|| minimizer.solve(&system, 5e8, &d).unwrap().total_cost)
+    });
+    group.bench_function("depth_first", |b| {
+        let minimizer = CostMinimizer {
+            solver: MipSolver {
+                node_selection: NodeSelection::DepthFirst,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        b.iter(|| minimizer.solve(&system, 5e8, &d).unwrap().total_cost)
+    });
+    group.bench_function("integral_servers", |b| {
+        let minimizer = CostMinimizer {
+            integral_servers: true,
+            ..Default::default()
+        };
+        b.iter(|| minimizer.solve(&system, 5e8, &d).unwrap().total_cost)
+    });
+    group.finish();
+}
+
+fn bench_raw_simplex(c: &mut Criterion) {
+    // A dense LP of the size a 13-site relaxation produces, to separate
+    // simplex cost from branch-and-bound overhead.
+    use billcap_milp::{ConstraintOp, Model, Sense};
+    let mut m = Model::new("raw", Sense::Minimize);
+    let n = 60;
+    let vars: Vec<_> = (0..n).map(|i| m.add_cont(format!("x{i}"), 0.0, 100.0)).collect();
+    for r in 0..40 {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, ((r * 7 + j * 3) % 11) as f64 - 3.0))
+            .collect();
+        m.add_constraint(format!("c{r}"), terms, ConstraintOp::Le, 50.0 + r as f64);
+    }
+    m.set_objective(
+        vars.iter()
+            .enumerate()
+            .map(|(j, &v)| (v, ((j % 13) as f64) - 6.0))
+            .collect(),
+        0.0,
+    );
+    let solver = LpSolver::default();
+    c.bench_function("raw_simplex_60x40", |b| {
+        b.iter(|| solver.solve(black_box(&m)).unwrap().objective)
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_step1_by_sites,
+    bench_step1_by_load,
+    bench_solver_variants,
+    bench_raw_simplex
+);
+criterion_main!(benches);

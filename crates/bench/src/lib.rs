@@ -1,0 +1,46 @@
+//! # billcap-bench
+//!
+//! Criterion benchmark harness for the `billcap` reproduction. Each bench
+//! target regenerates part of the paper's evaluation:
+//!
+//! * `solver_scalability` — the Section IV-C claim: step-1 MILP solve time
+//!   versus network size (paper: ≤ ~2 ms at 13 sites, 5 price levels,
+//!   10⁸ requests), plus pure-LP and integral-server variants.
+//! * `figures` — wall-clock cost of regenerating every evaluation figure
+//!   (Figures 1, 3, 4, 5/6, 7/8, 9, 10); each iteration runs the same
+//!   experiment code as the `paper_experiments` binary and the
+//!   integration tests.
+//! * `components` — substrate microbenches: Erlang-C / G/G/m sizing, step
+//!   policy lookup, DC-OPF dispatch and LMP extraction, trace generation,
+//!   budgeting, and realized-cost evaluation.
+//! * `ablations` — design-choice costs: integral vs. relaxed server
+//!   counts, best-bound vs. depth-first search, Dantzig vs. Bland pricing.
+//!
+//! Run everything with `cargo bench --workspace`. The figure benches also
+//! print their experiment summaries once per process so a bench run
+//! doubles as a results regeneration.
+
+/// Shared helpers for the bench targets.
+pub mod helpers {
+    use billcap_core::DataCenterSystem;
+
+    /// The paper's reference background demand vector.
+    pub fn background() -> Vec<f64> {
+        vec![360.0, 410.0, 430.0]
+    }
+
+    /// The paper system under Policy 1.
+    pub fn paper_system() -> DataCenterSystem {
+        DataCenterSystem::paper_system(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::helpers;
+
+    #[test]
+    fn helpers_build() {
+        assert_eq!(helpers::background().len(), helpers::paper_system().len());
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal flag parser (no external dependencies): `--name value` flags,
+//! `--name` booleans, and positional arguments, with typed accessors and
+//! helpful error messages.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// A user-facing argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses a token stream. A token starting with `--` is a flag; if the
+    /// next token exists and does not start with `--`, it is the flag's
+    /// value, otherwise the flag is a boolean switch.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let takes_value = iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false);
+                if takes_value {
+                    out.flags.insert(name.to_string(), iter.next().unwrap());
+                } else {
+                    out.switches.push(name.to_string());
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        out
+    }
+
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// True when the boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// String flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Required typed flag.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))?;
+        raw.parse()
+            .map_err(|_| ArgError(format!("--{name}: cannot parse {raw:?}")))
+    }
+
+    /// Comma-separated list of floats (e.g. `--background 360,410,430`).
+    pub fn get_f64_list(&self, name: &str) -> Result<Option<Vec<f64>>, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .map_err(|_| ArgError(format!("--{name}: bad number {p:?}")))
+                })
+                .collect::<Result<Vec<f64>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn flags_values_and_switches() {
+        let a = parse("cmd --budget 2000 --verbose --seed 42");
+        assert_eq!(a.positional(), ["cmd"]);
+        assert_eq!(a.get("budget"), Some("2000"));
+        assert!(a.has("verbose"));
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 42);
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse("x --rate 5.5");
+        assert_eq!(a.get_or::<f64>("rate", 0.0).unwrap(), 5.5);
+        assert_eq!(a.get_or::<f64>("missing", 7.0).unwrap(), 7.0);
+        assert!(a.require::<f64>("absent").is_err());
+        assert!(a.get_or::<u64>("rate", 0).is_err()); // 5.5 is not a u64
+    }
+
+    #[test]
+    fn float_lists() {
+        let a = parse("x --background 360,410,430");
+        assert_eq!(
+            a.get_f64_list("background").unwrap(),
+            Some(vec![360.0, 410.0, 430.0])
+        );
+        assert_eq!(a.get_f64_list("none").unwrap(), None);
+        let bad = parse("x --background 1,two,3");
+        assert!(bad.get_f64_list("background").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // "-5" does not start with "--", so it is a value.
+        let a = parse("x --offset -5");
+        assert_eq!(a.get_or::<f64>("offset", 0.0).unwrap(), -5.0);
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = parse("x --quiet");
+        assert!(a.has("quiet"));
+        assert_eq!(a.get("quiet"), None);
+    }
+}

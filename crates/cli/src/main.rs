@@ -1,0 +1,333 @@
+//! `billcap` — command-line interface to the bill-capping toolkit.
+//!
+//! ```text
+//! billcap decide-hour --offered 6e8 --premium-frac 0.8 \
+//!         --background 360,410,430 --budget 2000 [--policy 1]
+//! billcap simulate-month --strategy capping [--budget 1.5e6] [--seed 42]
+//!         [--policy 1] [--csv month.csv]
+//! billcap derive-policies [--max-load 900] [--step 10]
+//! billcap export-trace --kind workload [--hours 720] [--seed 42]
+//! billcap solve-lp model.lp
+//! billcap help
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use billcap_core::{BillCapper, DataCenterSystem, HourOutcome};
+use billcap_milp::{parse_lp, MipSolver};
+use billcap_sim::export::monthly_report_csv;
+use billcap_sim::{run_month, Scenario, Strategy};
+use billcap_workload::{BackgroundDemand, TemperatureModel, TraceConfig, TraceGenerator};
+use std::process::ExitCode;
+
+const HELP: &str = "\
+billcap — electricity bill capping for cloud-scale data centers
+(reproduction of Zhang, Wang & Wang, ICPP 2012)
+
+USAGE:
+  billcap decide-hour --offered R --premium-frac F --budget D
+          [--background MW,MW,MW] [--policy 0..3]
+      Decide one hour's workload dispatch for the paper's 3-site system.
+
+  billcap simulate-month --strategy capping|min-only-avg|min-only-low
+          [--budget DOLLARS] [--policy 0..3] [--seed N] [--csv FILE] [--quiet]
+      Simulate the evaluation month and print the summary
+      (optionally dumping the hourly series as CSV).
+
+  billcap derive-policies [--max-load MW] [--step MW]
+      Derive the locational step pricing policies from the PJM
+      five-bus system (the paper's Figure 1).
+
+  billcap export-trace --kind workload|background0|background1|background2|
+          temperature0|temperature1|temperature2
+          [--hours N] [--seed N] [--mean-rate R]
+      Print a synthetic trace as CSV.
+
+  billcap solve-lp FILE
+      Solve a CPLEX LP-format model with the built-in MILP solver.
+
+  billcap help
+      Show this message.
+";
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match run(tokens) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(tokens: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(tokens);
+    let command = args.positional().first().map(String::as_str);
+    match command {
+        Some("decide-hour") => decide_hour(&args).map_err(stringify),
+        Some("simulate-month") => simulate_month(&args).map_err(stringify),
+        Some("derive-policies") => derive_policies(&args).map_err(stringify),
+        Some("export-trace") => export_trace(&args).map_err(stringify),
+        Some("solve-lp") => solve_lp(&args),
+        Some("help") | None => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `billcap help`")),
+    }
+}
+
+fn stringify(e: ArgError) -> String {
+    e.0
+}
+
+fn policy_arg(args: &Args) -> Result<usize, ArgError> {
+    let p: usize = args.get_or("policy", 1)?;
+    if p > 3 {
+        return Err(ArgError("--policy must be 0..=3".into()));
+    }
+    Ok(p)
+}
+
+fn decide_hour(args: &Args) -> Result<(), ArgError> {
+    let offered: f64 = args.require("offered")?;
+    let premium_frac: f64 = args.get_or("premium-frac", 0.8)?;
+    if !(0.0..=1.0).contains(&premium_frac) {
+        return Err(ArgError("--premium-frac must be in [0, 1]".into()));
+    }
+    let budget: f64 = args.require("budget")?;
+    let background = args
+        .get_f64_list("background")?
+        .unwrap_or_else(|| vec![360.0, 410.0, 430.0]);
+    let system = DataCenterSystem::paper_system(policy_arg(args)?);
+    if background.len() != system.len() {
+        return Err(ArgError(format!(
+            "--background needs {} comma-separated values",
+            system.len()
+        )));
+    }
+    let decision = BillCapper::default()
+        .decide_hour(&system, offered, premium_frac * offered, &background, budget)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let outcome = match decision.outcome {
+        HourOutcome::WithinBudget => "within budget",
+        HourOutcome::Throttled => "throttled",
+        HourOutcome::PremiumOverride => "premium override (budget violated)",
+    };
+    println!("outcome: {outcome}");
+    println!(
+        "served: premium {:.3e} req/h, ordinary {:.3e} req/h",
+        decision.premium_served, decision.ordinary_served
+    );
+    for (i, site) in system.sites.iter().enumerate() {
+        println!(
+            "  {:<14} {:>10.3e} req/h  {:>8.2} MW  ${:>6.2}/MWh  ${:>10.2}",
+            site.name,
+            decision.allocation.lambda[i],
+            decision.allocation.power_mw[i],
+            decision.allocation.price[i],
+            decision.allocation.cost[i]
+        );
+    }
+    println!("hour cost ${:.2} vs budget ${budget:.2}", decision.cost());
+    Ok(())
+}
+
+fn simulate_month(args: &Args) -> Result<(), ArgError> {
+    let strategy = match args.get("strategy").unwrap_or("capping") {
+        "capping" => Strategy::CostCapping,
+        "min-only-avg" => Strategy::MinOnlyAvg,
+        "min-only-low" => Strategy::MinOnlyLow,
+        other => {
+            return Err(ArgError(format!(
+                "unknown strategy {other:?} (capping|min-only-avg|min-only-low)"
+            )))
+        }
+    };
+    let seed: u64 = args.get_or("seed", 42)?;
+    let budget: Option<f64> = match args.get("budget") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ArgError(format!("--budget: cannot parse {raw:?}")))?,
+        ),
+        None => None,
+    };
+    let scenario = Scenario::paper_default(policy_arg(args)?, seed);
+    let report =
+        run_month(&scenario, strategy, budget).map_err(|e| ArgError(e.to_string()))?;
+    if args.has("quiet") {
+        // Machine-friendly single line: cost, premium tput, ordinary tput.
+        println!(
+            "{:.2} {:.6} {:.6}",
+            report.total_cost(),
+            report.premium_throughput(),
+            report.ordinary_throughput()
+        );
+        if let Some(path) = args.get("csv") {
+            std::fs::write(path, monthly_report_csv(&report))
+                .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+        }
+        return Ok(());
+    }
+    println!("strategy: {}", report.strategy_name);
+    println!("monthly cost: ${:.2}", report.total_cost());
+    println!(
+        "throughput: premium {:.1}%, ordinary {:.1}%",
+        100.0 * report.premium_throughput(),
+        100.0 * report.ordinary_throughput()
+    );
+    if let Some(util) = report.budget_utilization() {
+        println!(
+            "budget: ${:.0} (utilization {:.1}%, {} hourly violations)",
+            budget.unwrap_or(f64::NAN),
+            100.0 * util,
+            report.hourly_violations()
+        );
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, monthly_report_csv(&report))
+            .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+        println!("hourly series written to {path}");
+    }
+    Ok(())
+}
+
+fn derive_policies(args: &Args) -> Result<(), ArgError> {
+    let max_load: f64 = args.get_or("max-load", 900.0)?;
+    let step: f64 = args.get_or("step", 10.0)?;
+    let derived = billcap_market::fivebus::derive_policies(max_load, step)
+        .map_err(|e| ArgError(e.to_string()))?;
+    for (consumer, _, policy) in &derived {
+        let levels: Vec<String> = policy
+            .levels()
+            .map(|(lo, hi, p)| {
+                if hi.is_finite() {
+                    format!("[{lo:.0},{hi:.0}):{p:.2}")
+                } else {
+                    format!("[{lo:.0},inf):{p:.2}")
+                }
+            })
+            .collect();
+        println!("{consumer:?}: {}", levels.join("  "));
+    }
+    Ok(())
+}
+
+fn export_trace(args: &Args) -> Result<(), ArgError> {
+    let kind = args.get("kind").unwrap_or("workload");
+    let hours: usize = args.get_or("hours", 720)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let mean_rate: f64 = args.get_or("mean-rate", Scenario::MEAN_RATE)?;
+    let trace = match kind {
+        "workload" => {
+            TraceGenerator::new(TraceConfig::wikipedia_like(mean_rate, seed)).generate(hours)
+        }
+        "background0" => BackgroundDemand::reco_like(0, seed).generate(hours),
+        "background1" => BackgroundDemand::reco_like(1, seed).generate(hours),
+        "background2" => BackgroundDemand::reco_like(2, seed).generate(hours),
+        "temperature0" => TemperatureModel::paper_location(0, seed).generate(hours),
+        "temperature1" => TemperatureModel::paper_location(1, seed).generate(hours),
+        "temperature2" => TemperatureModel::paper_location(2, seed).generate(hours),
+        other => {
+            return Err(ArgError(format!(
+                "unknown trace kind {other:?} (workload|background0..2|temperature0..2)"
+            )))
+        }
+    };
+    print!("{}", trace.to_csv());
+    Ok(())
+}
+
+fn solve_lp(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| "solve-lp needs a file path".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    let model = parse_lp(&text).map_err(|e| e.to_string())?;
+    let sol = MipSolver::default().solve(&model).map_err(|e| e.to_string())?;
+    println!("status: {:?}", sol.status);
+    println!("objective: {}", sol.objective);
+    for (v, value) in model.variables().iter().zip(&sol.values) {
+        println!("  {} = {}", v.name, value);
+    }
+    if let Some(stats) = sol.mip {
+        println!(
+            "nodes: {}, lp iterations: {}, gap: {:.2e}",
+            stats.nodes, stats.lp_iterations, stats.gap
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<(), String> {
+        run(s.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_str("help").is_ok());
+        assert!(run(vec![]).is_ok());
+        assert!(run_str("frobnicate").is_err());
+    }
+
+    #[test]
+    fn decide_hour_happy_path() {
+        assert!(run_str(
+            "decide-hour --offered 6e8 --premium-frac 0.8 --budget 1e9"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn decide_hour_validation() {
+        assert!(run_str("decide-hour --budget 1").is_err()); // missing --offered
+        assert!(run_str("decide-hour --offered 1e8 --budget 1 --premium-frac 2.0").is_err());
+        assert!(run_str(
+            "decide-hour --offered 1e8 --budget 1e9 --background 1,2"
+        )
+        .is_err()); // wrong arity
+        assert!(run_str(
+            "decide-hour --offered 1e8 --budget 1e9 --policy 7"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn derive_policies_runs() {
+        assert!(run_str("derive-policies --max-load 700 --step 100").is_ok());
+    }
+
+    #[test]
+    fn export_trace_kinds() {
+        assert!(run_str("export-trace --kind workload --hours 24").is_ok());
+        assert!(run_str("export-trace --kind temperature1 --hours 24").is_ok());
+        assert!(run_str("export-trace --kind nope").is_err());
+    }
+
+    #[test]
+    fn solve_lp_roundtrip() {
+        let dir = std::env::temp_dir().join("billcap_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.lp");
+        std::fs::write(
+            &path,
+            "Minimize\n obj: 2 a + 3 b\nSubject To\n c1: a + b >= 4\nBounds\n a >= 0\n b >= 0\nEnd\n",
+        )
+        .unwrap();
+        assert!(run_str(&format!("solve-lp {}", path.display())).is_ok());
+        assert!(run_str("solve-lp /nonexistent/file.lp").is_err());
+        assert!(run_str("solve-lp").is_err());
+    }
+
+    #[test]
+    fn simulate_month_validation() {
+        assert!(run_str("simulate-month --strategy bogus").is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! The two-step bill capper (paper Section III).
+//!
+//! Each invocation period (hour):
+//!
+//! 1. Run [`CostMinimizer`]. If the minimized cost fits the hour's budget,
+//!    enforce that allocation — every request (premium and ordinary) is
+//!    served.
+//! 2. Otherwise run [`ThroughputMaximizer`] under the budget. If the
+//!    achievable throughput covers at least the premium rate, serve all
+//!    premium plus as much ordinary traffic as the budget allows.
+//! 3. If even premium traffic cannot fit, re-run the cost minimizer on the
+//!    premium rate alone and knowingly violate the hour's budget: premium
+//!    QoS is the revenue source and is never sacrificed.
+
+use crate::error::CoreError;
+use crate::maximize::ThroughputMaximizer;
+use crate::minimize::{Allocation, CostMinimizer};
+use crate::spec::DataCenterSystem;
+use billcap_milp::SolveError;
+
+/// Tuning knobs for the capper.
+#[derive(Debug, Clone, Default)]
+pub struct CapperConfig {
+    /// Model server counts as integers inside the MILPs.
+    pub integral_servers: bool,
+}
+
+/// Which branch of the algorithm produced the hour's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HourOutcome {
+    /// Step 1 fit the budget: everything served.
+    WithinBudget,
+    /// Step 2 throttled ordinary traffic to fit the budget.
+    Throttled,
+    /// Premium alone busts the budget: premium served, budget violated.
+    PremiumOverride,
+}
+
+/// The decision for one invocation period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourDecision {
+    pub allocation: Allocation,
+    pub outcome: HourOutcome,
+    /// Requests/hour offered by customers (after any capacity clamp).
+    pub offered: f64,
+    /// Premium portion of the offered rate.
+    pub premium_offered: f64,
+    /// Premium requests served (always equals `premium_offered`).
+    pub premium_served: f64,
+    /// Ordinary requests served.
+    pub ordinary_served: f64,
+    /// The hour's budget the decision was made against ($).
+    pub budget: f64,
+}
+
+impl HourDecision {
+    /// Cost of the enforced allocation ($ for the hour).
+    pub fn cost(&self) -> f64 {
+        self.allocation.total_cost
+    }
+
+    /// True when the enforced cost exceeds the hour's budget (only possible
+    /// under [`HourOutcome::PremiumOverride`]).
+    pub fn violates_budget(&self) -> bool {
+        self.cost() > self.budget * (1.0 + 1e-9)
+    }
+}
+
+/// The bill-capping orchestrator.
+#[derive(Debug, Clone)]
+pub struct BillCapper {
+    pub minimizer: CostMinimizer,
+    pub maximizer: ThroughputMaximizer,
+}
+
+impl Default for BillCapper {
+    fn default() -> Self {
+        Self::new(CapperConfig::default())
+    }
+}
+
+impl BillCapper {
+    /// Builds a capper from a config.
+    pub fn new(config: CapperConfig) -> Self {
+        Self {
+            minimizer: CostMinimizer {
+                integral_servers: config.integral_servers,
+                ..Default::default()
+            },
+            maximizer: ThroughputMaximizer {
+                integral_servers: config.integral_servers,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Decides one hour's allocation.
+    ///
+    /// `offered` is the total arrival rate, `premium_offered` the premium
+    /// share (`<= offered`), `background_mw` the regional non-DC demand,
+    /// and `hourly_budget` the budgeter's allotment for this hour.
+    ///
+    /// If the offered load exceeds deliverable capacity (an extreme flash
+    /// crowd), ordinary traffic is shed first to bring it within capacity;
+    /// premium beyond capacity is an error.
+    pub fn decide_hour(
+        &self,
+        system: &DataCenterSystem,
+        offered: f64,
+        premium_offered: f64,
+        background_mw: &[f64],
+        hourly_budget: f64,
+    ) -> Result<HourDecision, CoreError> {
+        assert!(
+            premium_offered <= offered + 1e-9,
+            "premium rate cannot exceed the total"
+        );
+        let capacity = system.total_capacity();
+        if premium_offered > capacity {
+            return Err(CoreError::InsufficientCapacity {
+                demanded: premium_offered,
+                capacity,
+            });
+        }
+        // Capacity clamp: shed un-servable ordinary traffic up front.
+        let offered = offered.min(capacity);
+
+        // Step 1: cost minimization over the whole offered load.
+        let step1 = self.minimizer.solve(system, offered, background_mw)?;
+        if step1.total_cost <= hourly_budget {
+            return Ok(HourDecision {
+                outcome: HourOutcome::WithinBudget,
+                offered,
+                premium_offered,
+                premium_served: premium_offered,
+                ordinary_served: offered - premium_offered,
+                budget: hourly_budget,
+                allocation: step1,
+            });
+        }
+
+        // Step 2: throughput maximization within the budget.
+        let step2 = match self
+            .maximizer
+            .solve(system, offered, background_mw, hourly_budget)
+        {
+            Ok(a) => Some(a),
+            // A budget below the unavoidable base-power cost is infeasible;
+            // treat as zero achievable throughput.
+            Err(CoreError::Solver(SolveError::Infeasible)) => None,
+            Err(e) => return Err(e),
+        };
+        if let Some(step2) = step2 {
+            if step2.total_lambda >= premium_offered - 1e-6 {
+                let ordinary = (step2.total_lambda - premium_offered).max(0.0);
+                return Ok(HourDecision {
+                    outcome: HourOutcome::Throttled,
+                    offered,
+                    premium_offered,
+                    premium_served: premium_offered,
+                    ordinary_served: ordinary,
+                    budget: hourly_budget,
+                    allocation: step2,
+                });
+            }
+        }
+
+        // Premium override: serve premium at minimum cost, budget be damned.
+        let step3 = self.minimizer.solve(system, premium_offered, background_mw)?;
+        Ok(HourDecision {
+            outcome: HourOutcome::PremiumOverride,
+            offered,
+            premium_offered,
+            premium_served: premium_offered,
+            ordinary_served: 0.0,
+            budget: hourly_budget,
+            allocation: step3,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DataCenterSystem;
+
+    fn background() -> Vec<f64> {
+        vec![330.0, 410.0, 280.0]
+    }
+
+    fn capper() -> BillCapper {
+        BillCapper::default()
+    }
+
+    #[test]
+    fn abundant_budget_serves_everything() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = capper()
+            .decide_hour(&sys, 6e8, 4.8e8, &background(), 1e9)
+            .unwrap();
+        assert_eq!(d.outcome, HourOutcome::WithinBudget);
+        assert_eq!(d.premium_served, 4.8e8);
+        assert!((d.ordinary_served - 1.2e8).abs() < 1.0);
+        assert!(!d.violates_budget());
+    }
+
+    #[test]
+    fn tight_budget_throttles_ordinary_only() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let offered = 8e8;
+        let premium = 0.8 * offered;
+        let full_cost = capper()
+            .decide_hour(&sys, offered, premium, &d, f64::INFINITY)
+            .unwrap()
+            .cost();
+        // Budget between the premium-only cost and the full cost.
+        let budget = 0.93 * full_cost;
+        let dec = capper()
+            .decide_hour(&sys, offered, premium, &d, budget)
+            .unwrap();
+        assert_eq!(dec.outcome, HourOutcome::Throttled);
+        assert_eq!(dec.premium_served, premium);
+        assert!(dec.ordinary_served < offered - premium);
+        assert!(dec.cost() <= budget * (1.0 + 1e-6));
+        assert!(!dec.violates_budget());
+    }
+
+    #[test]
+    fn starvation_budget_triggers_premium_override() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let offered = 8e8;
+        let premium = 0.8 * offered;
+        let dec = capper()
+            .decide_hour(&sys, offered, premium, &d, 1.0) // $1 budget
+            .unwrap();
+        assert_eq!(dec.outcome, HourOutcome::PremiumOverride);
+        assert_eq!(dec.premium_served, premium);
+        assert_eq!(dec.ordinary_served, 0.0);
+        assert!(dec.violates_budget());
+    }
+
+    #[test]
+    fn premium_is_never_shed() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        for budget in [1.0, 500.0, 2000.0, 1e9] {
+            let dec = capper()
+                .decide_hour(&sys, 7e8, 5.6e8, &d, budget)
+                .unwrap();
+            assert_eq!(dec.premium_served, 5.6e8, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn capacity_clamp_sheds_ordinary_first() {
+        let sys = DataCenterSystem::paper_system(1);
+        let capacity = sys.total_capacity();
+        let offered = 2.0 * capacity;
+        let premium = 0.4 * capacity;
+        let dec = capper()
+            .decide_hour(&sys, offered, premium, &background(), f64::INFINITY)
+            .unwrap();
+        assert_eq!(dec.premium_served, premium);
+        assert!(dec.offered <= capacity * (1.0 + 1e-9));
+        assert!(dec.ordinary_served <= capacity - premium + 1e-3);
+    }
+
+    #[test]
+    fn premium_beyond_capacity_is_an_error() {
+        let sys = DataCenterSystem::paper_system(1);
+        let capacity = sys.total_capacity();
+        assert!(matches!(
+            capper().decide_hour(&sys, 3.0 * capacity, 1.5 * capacity, &background(), 1e9),
+            Err(CoreError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn throttled_cost_uses_budget_efficiently() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let offered = 8e8;
+        let premium = 0.8 * offered;
+        let full_cost = capper()
+            .decide_hour(&sys, offered, premium, &d, f64::INFINITY)
+            .unwrap()
+            .cost();
+        let budget = 0.9 * full_cost;
+        let dec = capper()
+            .decide_hour(&sys, offered, premium, &d, budget)
+            .unwrap();
+        if dec.outcome == HourOutcome::Throttled {
+            assert!(
+                dec.cost() > 0.85 * budget,
+                "left too much budget unused: {} of {budget}",
+                dec.cost()
+            );
+        }
+    }
+}

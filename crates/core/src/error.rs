@@ -1,0 +1,67 @@
+//! Error type for the bill-capping algorithms.
+
+use billcap_milp::SolveError;
+use billcap_queueing::QueueingError;
+use std::fmt;
+
+/// Errors surfaced by the cost-minimization / throughput-maximization
+/// formulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The demanded workload exceeds what the data-center network can carry
+    /// within its power caps and QoS targets.
+    InsufficientCapacity { demanded: f64, capacity: f64 },
+    /// The underlying MILP failed.
+    Solver(SolveError),
+    /// The queueing model rejected the configuration (e.g. an unreachable
+    /// response-time target).
+    Queueing(QueueingError),
+    /// Mismatched input sizes (e.g. background-demand vector vs. sites).
+    Dimension { expected: usize, got: usize },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InsufficientCapacity { demanded, capacity } => write!(
+                f,
+                "workload {demanded} req/h exceeds network capacity {capacity} req/h"
+            ),
+            CoreError::Solver(e) => write!(f, "optimization failed: {e}"),
+            CoreError::Queueing(e) => write!(f, "queueing model error: {e}"),
+            CoreError::Dimension { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<SolveError> for CoreError {
+    fn from(e: SolveError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<QueueingError> for CoreError {
+    fn from(e: QueueingError) -> Self {
+        CoreError::Queueing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = CoreError::InsufficientCapacity {
+            demanded: 10.0,
+            capacity: 5.0,
+        };
+        assert!(e.to_string().contains("exceeds"));
+        let e: CoreError = SolveError::Infeasible.into();
+        assert!(matches!(e, CoreError::Solver(_)));
+    }
+}

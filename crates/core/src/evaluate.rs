@@ -1,0 +1,119 @@
+//! Realized-cost evaluation: billing any allocation at true market prices.
+//!
+//! The baselines decide allocations under *wrong* assumptions (constant
+//! prices, server-only power). What they actually pay is determined by the
+//! real world: the local optimizer starts `ceil` servers, the full power
+//! chain (servers + switches + cooling) draws watts, and the ISO bills at
+//! the step price produced by the *actual* regional load. This module is
+//! that real world.
+
+use crate::spec::DataCenterSystem;
+
+/// The realized (billed) outcome of running an allocation for one hour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealizedCost {
+    /// Active servers per site (local optimizer's ceil).
+    pub servers: Vec<u64>,
+    /// Exact site power (MW), integral switch counts and all.
+    pub power_mw: Vec<f64>,
+    /// Billed price per site ($/MWh) at the actual regional load.
+    pub price: Vec<f64>,
+    /// Billed cost per site ($).
+    pub cost: Vec<f64>,
+    /// Total billed cost ($).
+    pub total_cost: f64,
+}
+
+/// Bills a per-site request allocation (`lambda[i]` requests/hour) at true
+/// prices with the full power model and background demand `background_mw`.
+///
+/// Panics if the vectors' lengths disagree with the system.
+pub fn evaluate_allocation(
+    system: &DataCenterSystem,
+    lambda: &[f64],
+    background_mw: &[f64],
+) -> RealizedCost {
+    assert_eq!(lambda.len(), system.len(), "lambda length");
+    assert_eq!(background_mw.len(), system.len(), "background length");
+    let mut servers = Vec::with_capacity(system.len());
+    let mut power_mw = Vec::with_capacity(system.len());
+    let mut price = Vec::with_capacity(system.len());
+    let mut cost = Vec::with_capacity(system.len());
+    let mut total_cost = 0.0;
+    for (i, site) in system.sites.iter().enumerate() {
+        let n = site.servers_for_rate(lambda[i]);
+        let p = site.power.total_mw(n);
+        let r = system.policy(i).price_at(p + background_mw[i]);
+        let c = r * p;
+        servers.push(n);
+        power_mw.push(p);
+        price.push(r);
+        cost.push(c);
+        total_cost += c;
+    }
+    RealizedCost {
+        servers,
+        power_mw,
+        price,
+        cost,
+        total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize::CostMinimizer;
+    use crate::spec::DataCenterSystem;
+
+    fn background() -> Vec<f64> {
+        vec![330.0, 410.0, 280.0]
+    }
+
+    #[test]
+    fn realized_cost_close_to_milp_estimate() {
+        // The MILP uses the linearized power model; realized cost uses the
+        // exact one. They must agree to a fraction of a percent.
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let alloc = CostMinimizer::default().solve(&sys, 5e8, &d).unwrap();
+        let real = evaluate_allocation(&sys, &alloc.lambda, &d);
+        let rel = (real.total_cost - alloc.total_cost).abs() / alloc.total_cost;
+        assert!(rel < 5e-3, "relative gap {rel}");
+    }
+
+    #[test]
+    fn zero_allocation_bills_near_zero() {
+        let sys = DataCenterSystem::paper_system(1);
+        let real = evaluate_allocation(&sys, &[0.0, 0.0, 0.0], &background());
+        // Only QoS headroom servers and their switch/cooling overhead.
+        assert!(real.total_cost < 50.0, "cost {}", real.total_cost);
+    }
+
+    #[test]
+    fn price_comes_from_actual_regional_load() {
+        let sys = DataCenterSystem::paper_system(1);
+        // Background at site 0 placed just below the 450 MW breakpoint:
+        // a large allocation must tip it into the next price level.
+        let d = vec![449.0, 410.0, 280.0];
+        let small = evaluate_allocation(&sys, &[1e6, 0.0, 0.0], &d);
+        let large = evaluate_allocation(&sys, &[3e8, 0.0, 0.0], &d);
+        assert!(large.price[0] > small.price[0]);
+    }
+
+    #[test]
+    fn cost_monotone_in_allocation() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let a = evaluate_allocation(&sys, &[1e8, 1e8, 1e8], &d);
+        let b = evaluate_allocation(&sys, &[2e8, 2e8, 2e8], &d);
+        assert!(b.total_cost > a.total_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda length")]
+    fn length_mismatch_panics() {
+        let sys = DataCenterSystem::paper_system(1);
+        evaluate_allocation(&sys, &[1.0], &background());
+    }
+}

@@ -1,0 +1,48 @@
+//! # billcap-core
+//!
+//! The primary contribution of *Electricity Bill Capping for Cloud-Scale
+//! Data Centers that Impact the Power Markets* (ICPP 2012): a two-step
+//! electricity-bill-capping algorithm for a network of geographically
+//! distributed data centers whose power draw moves the locational price.
+//!
+//! **Step 1 — [`CostMinimizer`]** (paper Section IV): split the hourly
+//! request rate `λ` across data centers to minimize `Σ Pr_i · p_i`, where
+//! `Pr_i = F_i(p_i + d_i)` is a locational *step* pricing policy of the
+//! total regional load, `p_i` covers servers + networking + cooling, each
+//! site has a power cap, and a G/G/m response-time constraint fixes the
+//! servers needed per unit of traffic. The step policy is linearized with
+//! one binary per price level and level-restricted power variables,
+//! yielding a MILP (solved by `billcap-milp`).
+//!
+//! **Step 2 — [`ThroughputMaximizer`]** (paper Section V): when the
+//! minimized cost exceeds the hour's budget, maximize admitted throughput
+//! subject to `Σ cost_i ≤ budget`. Premium customers are always served:
+//! if even premium traffic alone busts the budget, step 1 re-runs on
+//! premium traffic only and the hour's budget is knowingly violated.
+//!
+//! **[`BillCapper`]** orchestrates the two steps each hour;
+//! **[`MinOnly`]** implements the state-of-the-art baseline the paper
+//! compares against (constant prices, server-only power model); and
+//! **[`evaluate_allocation`]** applies the *true* cost model to any
+//! allocation so that baseline decisions are billed at real market prices.
+
+pub mod baselines;
+pub mod capper;
+pub mod error;
+pub mod evaluate;
+pub mod hetero;
+pub mod hierarchical;
+pub mod maximize;
+pub mod minimize;
+pub mod priority;
+pub mod spec;
+
+pub use baselines::{MinOnly, PriceAssumption};
+pub use capper::{BillCapper, CapperConfig, HourDecision, HourOutcome};
+pub use error::CoreError;
+pub use evaluate::{evaluate_allocation, RealizedCost};
+pub use hierarchical::HierarchicalMinimizer;
+pub use maximize::ThroughputMaximizer;
+pub use priority::{ClassDecision, PriorityClass};
+pub use minimize::{Allocation, CostMinimizer};
+pub use spec::{DataCenterSpec, DataCenterSystem};

@@ -1,0 +1,275 @@
+//! N-class priority admission (generalizing the paper's premium/ordinary
+//! split).
+//!
+//! The paper notes its 80/20 premium/ordinary proportion "is orthogonal to
+//! our algorithm and other methods to define premium users can be easily
+//! integrated". This module does that integration: any number of traffic
+//! classes in strict priority order, with an arbitrary prefix marked
+//! *guaranteed* (served regardless of budget, like the paper's premium
+//! class). The budgeted throughput from the step-2 MILP is then handed
+//! out in priority order.
+
+use crate::capper::BillCapper;
+use crate::error::CoreError;
+use crate::minimize::Allocation;
+use crate::spec::DataCenterSystem;
+use billcap_milp::SolveError;
+
+/// One traffic class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityClass {
+    pub name: String,
+    /// Offered rate (requests/hour).
+    pub rate: f64,
+    /// Guaranteed classes are served in full even if the budget breaks.
+    /// All guaranteed classes must precede non-guaranteed ones.
+    pub guaranteed: bool,
+}
+
+impl PriorityClass {
+    /// A guaranteed (paying) class.
+    pub fn guaranteed(name: impl Into<String>, rate: f64) -> Self {
+        Self {
+            name: name.into(),
+            rate,
+            guaranteed: true,
+        }
+    }
+
+    /// A best-effort class.
+    pub fn best_effort(name: impl Into<String>, rate: f64) -> Self {
+        Self {
+            name: name.into(),
+            rate,
+            guaranteed: false,
+        }
+    }
+}
+
+/// Outcome of a multi-class hour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecision {
+    /// Admitted rate per class (same order as the input).
+    pub admitted: Vec<f64>,
+    /// The enforced allocation.
+    pub allocation: Allocation,
+    /// True when guaranteed traffic forced the budget to be exceeded.
+    pub budget_violated: bool,
+}
+
+impl BillCapper {
+    /// Decides one hour for an ordered list of priority classes
+    /// (highest priority first; guaranteed classes must form a prefix).
+    ///
+    /// Semantics generalize [`BillCapper::decide_hour`]:
+    /// 1. minimize cost for the whole offered load — if it fits the
+    ///    budget, everyone is served;
+    /// 2. otherwise maximize throughput within the budget and hand it out
+    ///    in priority order;
+    /// 3. if even the guaranteed prefix does not fit, serve exactly the
+    ///    guaranteed traffic at minimum cost and report a violation.
+    pub fn decide_hour_classes(
+        &self,
+        system: &DataCenterSystem,
+        classes: &[PriorityClass],
+        background_mw: &[f64],
+        hourly_budget: f64,
+    ) -> Result<ClassDecision, CoreError> {
+        assert!(!classes.is_empty(), "need at least one class");
+        assert!(
+            classes.iter().all(|c| c.rate >= 0.0),
+            "class rates must be non-negative"
+        );
+        // Guaranteed prefix check.
+        let first_best_effort = classes
+            .iter()
+            .position(|c| !c.guaranteed)
+            .unwrap_or(classes.len());
+        assert!(
+            classes[first_best_effort..].iter().all(|c| !c.guaranteed),
+            "guaranteed classes must form a prefix of the priority order"
+        );
+
+        let capacity = system.total_capacity();
+        let guaranteed_rate: f64 = classes[..first_best_effort].iter().map(|c| c.rate).sum();
+        if guaranteed_rate > capacity {
+            return Err(CoreError::InsufficientCapacity {
+                demanded: guaranteed_rate,
+                capacity,
+            });
+        }
+        let offered: f64 = classes.iter().map(|c| c.rate).sum::<f64>().min(capacity);
+
+        // Step 1: full service.
+        let step1 = self.minimizer.solve(system, offered, background_mw)?;
+        if step1.total_cost <= hourly_budget {
+            return Ok(ClassDecision {
+                admitted: distribute(classes, offered),
+                allocation: step1,
+                budget_violated: false,
+            });
+        }
+
+        // Step 2: budgeted throughput.
+        let step2 = match self
+            .maximizer
+            .solve(system, offered, background_mw, hourly_budget)
+        {
+            Ok(a) => Some(a),
+            Err(CoreError::Solver(SolveError::Infeasible)) => None,
+            Err(e) => return Err(e),
+        };
+        if let Some(step2) = step2 {
+            if step2.total_lambda >= guaranteed_rate - 1e-6 {
+                return Ok(ClassDecision {
+                    admitted: distribute(classes, step2.total_lambda),
+                    allocation: step2,
+                    budget_violated: false,
+                });
+            }
+        }
+
+        // Step 3: guaranteed override.
+        let step3 = self
+            .minimizer
+            .solve(system, guaranteed_rate, background_mw)?;
+        Ok(ClassDecision {
+            admitted: distribute(classes, guaranteed_rate),
+            allocation: step3,
+            budget_violated: true,
+        })
+    }
+}
+
+/// Hands `throughput` out to classes in priority order.
+fn distribute(classes: &[PriorityClass], throughput: f64) -> Vec<f64> {
+    let mut remaining = throughput;
+    classes
+        .iter()
+        .map(|c| {
+            let take = c.rate.min(remaining.max(0.0));
+            remaining -= take;
+            take
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DataCenterSystem;
+
+    fn background() -> Vec<f64> {
+        vec![360.0, 410.0, 430.0]
+    }
+
+    fn classes() -> Vec<PriorityClass> {
+        vec![
+            PriorityClass::guaranteed("enterprise", 3e8),
+            PriorityClass::guaranteed("pro", 2e8),
+            PriorityClass::best_effort("free", 2e8),
+            PriorityClass::best_effort("batch", 1e8),
+        ]
+    }
+
+    #[test]
+    fn generous_budget_serves_all_classes() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = BillCapper::default()
+            .decide_hour_classes(&sys, &classes(), &background(), 1e9)
+            .unwrap();
+        assert_eq!(d.admitted, vec![3e8, 2e8, 2e8, 1e8]);
+        assert!(!d.budget_violated);
+    }
+
+    #[test]
+    fn tight_budget_sheds_lowest_priority_first() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let capper = BillCapper::default();
+        let full_cost = capper
+            .decide_hour_classes(&sys, &classes(), &d, f64::INFINITY)
+            .unwrap()
+            .allocation
+            .total_cost;
+        let dec = capper
+            .decide_hour_classes(&sys, &classes(), &d, 0.95 * full_cost)
+            .unwrap();
+        // Guaranteed classes intact.
+        assert_eq!(dec.admitted[0], 3e8);
+        assert_eq!(dec.admitted[1], 2e8);
+        // Batch (lowest) sheds before free.
+        assert!(dec.admitted[3] < 1e8 - 1.0, "batch {:?}", dec.admitted);
+        if dec.admitted[3] > 0.0 {
+            assert!((dec.admitted[2] - 2e8).abs() < 1.0, "free must fill first");
+        }
+        assert!(!dec.budget_violated);
+    }
+
+    #[test]
+    fn starvation_budget_serves_exactly_the_guaranteed_prefix() {
+        let sys = DataCenterSystem::paper_system(1);
+        let dec = BillCapper::default()
+            .decide_hour_classes(&sys, &classes(), &background(), 1.0)
+            .unwrap();
+        assert_eq!(dec.admitted, vec![3e8, 2e8, 0.0, 0.0]);
+        assert!(dec.budget_violated);
+    }
+
+    #[test]
+    fn two_classes_reduce_to_the_paper_scheme() {
+        // premium/ordinary via the class API must match decide_hour.
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let offered = 8e8;
+        let premium = 0.8 * offered;
+        let capper = BillCapper::default();
+        for budget in [1.0, 2500.0, 1e9] {
+            let classic = capper
+                .decide_hour(&sys, offered, premium, &d, budget)
+                .unwrap();
+            let classy = capper
+                .decide_hour_classes(
+                    &sys,
+                    &[
+                        PriorityClass::guaranteed("premium", premium),
+                        PriorityClass::best_effort("ordinary", offered - premium),
+                    ],
+                    &d,
+                    budget,
+                )
+                .unwrap();
+            assert!(
+                (classy.admitted[0] - classic.premium_served).abs() < 1.0,
+                "budget {budget}"
+            );
+            assert!(
+                (classy.admitted[1] - classic.ordinary_served).abs() < 1.0,
+                "budget {budget}: {} vs {}",
+                classy.admitted[1],
+                classic.ordinary_served
+            );
+        }
+    }
+
+    #[test]
+    fn guaranteed_beyond_capacity_errors() {
+        let sys = DataCenterSystem::paper_system(1);
+        let too_much = vec![PriorityClass::guaranteed("big", 1e13)];
+        assert!(matches!(
+            BillCapper::default().decide_hour_classes(&sys, &too_much, &background(), 1e9),
+            Err(CoreError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix")]
+    fn interleaved_guarantees_rejected() {
+        let sys = DataCenterSystem::paper_system(1);
+        let bad = vec![
+            PriorityClass::best_effort("free", 1e8),
+            PriorityClass::guaranteed("paid", 1e8),
+        ];
+        let _ = BillCapper::default().decide_hour_classes(&sys, &bad, &background(), 1e9);
+    }
+}

@@ -1,0 +1,200 @@
+//! A synthetic eight-bus two-area system.
+//!
+//! Complements the PJM five-bus instance with a larger network whose
+//! congestion pattern is structural rather than incidental: two
+//! generation-rich areas joined by two tie-lines with limited transfer
+//! capability. It exercises the OPF/LMP machinery on a meshed topology
+//! with multiple simultaneously binding constraints, and gives experiments
+//! a second source of derived step policies.
+//!
+//! Topology (reactances in per-unit, limits in MW):
+//!
+//! ```text
+//!   Area 1 (cheap hydro/coal)        Area 2 (expensive gas)
+//!   G1--1 ---- 2 ---- 3 (load)   5 ---- 6 ---- 7 (load)
+//!         \    |     |           |      |     /
+//!          \   |     +--tie A----+      |    /
+//!           \  |                        |   /
+//!            \ 4 (load) ------tie B---- 8 (load, G4)
+//!               (G2 at 2, G3 at 5)
+//! ```
+
+use crate::network::{BusId, Grid};
+use crate::opf::{OpfError, OpfSolver};
+use crate::policy::StepPolicy;
+
+/// Bus handles for the two-area system.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoArea {
+    pub buses: [BusId; 8],
+}
+
+impl TwoArea {
+    /// The buses carrying load (3, 4, 7, 8 → indices 2, 3, 6, 7).
+    pub fn load_buses(&self) -> [BusId; 4] {
+        [self.buses[2], self.buses[3], self.buses[6], self.buses[7]]
+    }
+}
+
+/// Builds the two-area grid.
+///
+/// Area 1 holds 900 MW of cheap generation ($8/$13), area 2 holds 500 MW
+/// of expensive generation ($32/$45); the two tie-lines limit transfers to
+/// 180 MW + 140 MW, so once area-2 load outgrows imports its LMPs decouple
+/// sharply — the price-maker effect on a larger stage.
+pub fn two_area() -> (Grid, TwoArea) {
+    let mut g = Grid::new();
+    let b: Vec<BusId> = (1..=8).map(|i| g.add_bus(format!("bus{i}"))).collect();
+
+    // Area 1 internal lines (strong).
+    g.add_line("1-2", b[0], b[1], 0.02, f64::INFINITY);
+    g.add_line("2-3", b[1], b[2], 0.02, f64::INFINITY);
+    g.add_line("1-4", b[0], b[3], 0.025, f64::INFINITY);
+    g.add_line("2-4", b[1], b[3], 0.025, f64::INFINITY);
+    // Area 2 internal lines (strong).
+    g.add_line("5-6", b[4], b[5], 0.02, f64::INFINITY);
+    g.add_line("6-7", b[5], b[6], 0.02, f64::INFINITY);
+    g.add_line("5-8", b[4], b[7], 0.025, f64::INFINITY);
+    g.add_line("6-8", b[5], b[7], 0.025, f64::INFINITY);
+    // Tie-lines (weak, limited).
+    g.add_line("tieA:3-5", b[2], b[4], 0.06, 180.0);
+    g.add_line("tieB:4-8", b[3], b[7], 0.08, 140.0);
+
+    // Generators.
+    g.add_generator("hydro", b[0], 500.0, 8.0);
+    g.add_generator("coal", b[1], 400.0, 13.0);
+    g.add_generator("gas-cc", b[4], 300.0, 32.0);
+    g.add_generator("gas-peaker", b[7], 200.0, 45.0);
+
+    (g, TwoArea {
+        buses: [b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]],
+    })
+}
+
+/// Sweeps the system load (split 25 % to each load bus) and fits a step
+/// policy per load bus, mirroring [`crate::fivebus::derive_policies`].
+pub fn derive_two_area_policies(
+    max_load_mw: f64,
+    step_mw: f64,
+) -> Result<Vec<(BusId, StepPolicy)>, OpfError> {
+    let (grid, sys) = two_area();
+    let n = grid.buses.len();
+    let opf = OpfSolver::new(grid)?;
+    let load_buses = sys.load_buses();
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); load_buses.len()];
+    let mut load = step_mw.max(1.0);
+    while load <= max_load_mw {
+        let mut loads = vec![0.0; n];
+        for &lb in &load_buses {
+            loads[lb.0] = load / load_buses.len() as f64;
+        }
+        match opf.lmp_decomposition(&loads) {
+            Ok(dec) => {
+                for (s, &lb) in series.iter_mut().zip(&load_buses) {
+                    s.push((load, dec.lmp[lb.0]));
+                }
+            }
+            Err(OpfError::Infeasible) => break,
+            Err(e) => return Err(e),
+        }
+        load += step_mw;
+    }
+    Ok(load_buses
+        .iter()
+        .zip(series)
+        .map(|(&lb, s)| (lb, StepPolicy::fit_from_series(&s, 0.05)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_area_prices_at_hydro_when_light() {
+        let (grid, sys) = two_area();
+        let opf = OpfSolver::new(grid).unwrap();
+        let mut loads = vec![0.0; 8];
+        for &lb in &sys.load_buses() {
+            loads[lb.0] = 50.0; // 200 MW total
+        }
+        let dec = opf.lmp_decomposition(&loads).unwrap();
+        for &lb in &sys.load_buses() {
+            assert!((dec.lmp[lb.0] - 8.0).abs() < 1e-6, "bus {lb:?}: {}", dec.lmp[lb.0]);
+        }
+    }
+
+    #[test]
+    fn tie_congestion_decouples_the_areas() {
+        let (grid, sys) = two_area();
+        let opf = OpfSolver::new(grid).unwrap();
+        // Heavy area-2 load: imports hit the tie limits.
+        let mut loads = vec![0.0; 8];
+        loads[sys.buses[6].0] = 300.0; // bus 7
+        loads[sys.buses[7].0] = 250.0; // bus 8
+        loads[sys.buses[2].0] = 100.0; // bus 3 (area 1)
+        let dec = opf.lmp_decomposition(&loads).unwrap();
+        let area1_price = dec.lmp[sys.buses[2].0];
+        let area2_price = dec.lmp[sys.buses[6].0];
+        assert!(
+            area2_price > area1_price + 5.0,
+            "area 2 {area2_price} vs area 1 {area1_price}"
+        );
+        // Exact duals agree with perturbation on this meshed case too.
+        let pert = opf.lmp(&loads, sys.buses[6]).unwrap();
+        assert!((area2_price - pert).abs() < 1e-6, "{area2_price} vs {pert}");
+    }
+
+    #[test]
+    fn tie_flows_respect_limits() {
+        let (grid, sys) = two_area();
+        let opf = OpfSolver::new(grid).unwrap();
+        let mut loads = vec![0.0; 8];
+        loads[sys.buses[6].0] = 320.0;
+        loads[sys.buses[7].0] = 260.0;
+        let d = opf.dispatch(&loads).unwrap();
+        // Lines 8 and 9 are the ties.
+        assert!(d.flows_mw[8].abs() <= 180.0 + 1e-6);
+        assert!(d.flows_mw[9].abs() <= 140.0 + 1e-6);
+    }
+
+    #[test]
+    fn derived_policies_step_and_differ() {
+        let policies = derive_two_area_policies(1200.0, 25.0).unwrap();
+        assert_eq!(policies.len(), 4);
+        for (bus, p) in &policies {
+            assert!(p.num_levels() >= 2, "bus {bus:?} flat");
+            // At light load every bus prices at the hydro marginal cost.
+            assert!(
+                (p.price_at(100.0) - 8.0).abs() < 0.5,
+                "bus {bus:?}: light-load price {}",
+                p.price_at(100.0)
+            );
+        }
+        // Counter-flow buses may price *below* the cheapest unit under
+        // congestion — a hallmark of real LMPs the decomposition exposes.
+        let any_below_floor = policies.iter().any(|(_, p)| p.min_price() < 8.0 - 0.5);
+        assert!(any_below_floor, "expected a counter-flow discount somewhere");
+        // Area-2 load buses must end up pricier than area-1's.
+        let max_price_area1 = policies[0].1.max_price().max(policies[1].1.max_price());
+        let max_price_area2 = policies[2].1.max_price().max(policies[3].1.max_price());
+        assert!(
+            max_price_area2 > max_price_area1,
+            "area2 {max_price_area2} vs area1 {max_price_area1}"
+        );
+    }
+
+    #[test]
+    fn infeasible_beyond_deliverable_load() {
+        let (grid, sys) = two_area();
+        let opf = OpfSolver::new(grid).unwrap();
+        // 900 MW in area 2 alone exceeds local generation (500 MW) plus
+        // the tie capacity (180 + 140 MW).
+        let mut loads = vec![0.0; 8];
+        loads[sys.buses[6].0] = 900.0;
+        assert!(matches!(
+            opf.dispatch(&loads),
+            Err(OpfError::Infeasible)
+        ));
+    }
+}

@@ -1,0 +1,509 @@
+//! Best-first branch-and-bound over the simplex relaxation.
+
+use crate::error::SolveError;
+use crate::model::{Model, Sense, VarId};
+use crate::simplex::LpSolver;
+use crate::solution::{MipStats, Solution, Status};
+use crate::INT_TOL;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// How to pick the fractional variable to branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchRule {
+    /// Variable whose LP value is farthest from an integer.
+    MostFractional,
+    /// First fractional variable in index order.
+    FirstFractional,
+}
+
+/// Order in which open nodes are explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSelection {
+    /// Always expand the node with the best relaxation bound
+    /// (smallest lower bound for minimization). Proves optimality fastest.
+    BestBound,
+    /// LIFO stack; finds incumbents quickly with low memory.
+    DepthFirst,
+}
+
+/// Branch-and-bound MILP solver.
+#[derive(Debug, Clone)]
+pub struct MipSolver {
+    /// LP solver used for node relaxations.
+    pub lp: LpSolver,
+    /// Values within `int_tol` of an integer count as integral.
+    pub int_tol: f64,
+    /// Hard cap on explored nodes.
+    pub max_nodes: usize,
+    /// Branch variable selection rule.
+    pub branch_rule: BranchRule,
+    /// Node exploration order.
+    pub node_selection: NodeSelection,
+    /// Terminate when the relative gap falls below this value.
+    pub gap_tol: f64,
+}
+
+impl Default for MipSolver {
+    fn default() -> Self {
+        Self {
+            lp: LpSolver::default(),
+            int_tol: INT_TOL,
+            max_nodes: 200_000,
+            branch_rule: BranchRule::MostFractional,
+            node_selection: NodeSelection::BestBound,
+            gap_tol: 1e-9,
+        }
+    }
+}
+
+/// An open node: per-variable bound overrides plus the parent's bound.
+struct Node {
+    /// `(lb, ub)` for every variable (small models; cloning is cheap and
+    /// keeps the search state self-contained).
+    bounds: Vec<(f64, f64)>,
+    /// Relaxation bound inherited from the parent, in minimization space.
+    bound: f64,
+    depth: usize,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    // BinaryHeap is a max-heap; invert so the *smallest* bound pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.depth.cmp(&other.depth))
+    }
+}
+
+enum Frontier {
+    Heap(BinaryHeap<Node>),
+    Stack(Vec<Node>),
+}
+
+impl Frontier {
+    fn push(&mut self, n: Node) {
+        match self {
+            Frontier::Heap(h) => h.push(n),
+            Frontier::Stack(s) => s.push(n),
+        }
+    }
+    fn pop(&mut self) -> Option<Node> {
+        match self {
+            Frontier::Heap(h) => h.pop(),
+            Frontier::Stack(s) => s.pop(),
+        }
+    }
+    fn best_bound(&self) -> Option<f64> {
+        match self {
+            Frontier::Heap(h) => h.peek().map(|n| n.bound),
+            Frontier::Stack(s) => s
+                .iter()
+                .map(|n| n.bound)
+                .min_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)),
+        }
+    }
+}
+
+impl MipSolver {
+    /// Solves `model` to integer optimality (or best incumbent at the node
+    /// limit, reported with [`Status::Feasible`]).
+    pub fn solve(&self, model: &Model) -> Result<Solution, SolveError> {
+        model.validate()?;
+        let int_vars = model.integer_vars();
+        if int_vars.is_empty() {
+            let mut sol = self.lp.solve(model)?;
+            sol.mip = Some(MipStats {
+                nodes: 1,
+                lp_iterations: sol.iterations,
+                best_bound: sol.objective,
+                gap: 0.0,
+            });
+            return Ok(sol);
+        }
+
+        // Work in minimization space for pruning.
+        let sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+
+        // Root bounds, with integer bounds pre-rounded inward.
+        let mut root_bounds: Vec<(f64, f64)> = model
+            .variables()
+            .iter()
+            .map(|v| (v.lb, v.ub))
+            .collect();
+        for &v in &int_vars {
+            let (lb, ub) = root_bounds[v.index()];
+            let lb = if lb.is_finite() { (lb - self.int_tol).ceil() } else { lb };
+            let ub = if ub.is_finite() { (ub + self.int_tol).floor() } else { ub };
+            if lb > ub {
+                return Err(SolveError::Infeasible);
+            }
+            root_bounds[v.index()] = (lb, ub);
+        }
+
+        let mut work = model.clone();
+        let mut frontier = match self.node_selection {
+            NodeSelection::BestBound => Frontier::Heap(BinaryHeap::new()),
+            NodeSelection::DepthFirst => Frontier::Stack(Vec::new()),
+        };
+        frontier.push(Node {
+            bounds: root_bounds,
+            bound: f64::NEG_INFINITY,
+            depth: 0,
+        });
+
+        let mut incumbent: Option<Solution> = None;
+        let mut incumbent_key = f64::INFINITY;
+        let mut nodes = 0usize;
+        let mut lp_iterations = 0usize;
+        let mut best_bound_seen = f64::NEG_INFINITY;
+
+        while let Some(node) = frontier.pop() {
+            // Global-bound prune (incumbent may have improved since push).
+            if node.bound >= incumbent_key - self.prune_slack(incumbent_key) {
+                continue;
+            }
+            if nodes >= self.max_nodes {
+                return self.finish_at_limit(incumbent, nodes, lp_iterations, sign, &frontier);
+            }
+            nodes += 1;
+
+            for (i, &(lb, ub)) in node.bounds.iter().enumerate() {
+                work.set_var_bounds(VarId(i), lb, ub);
+            }
+            let lp_sol = match self.lp.solve(&work) {
+                Ok(s) => s,
+                Err(SolveError::Infeasible) => continue,
+                Err(SolveError::Unbounded) => {
+                    // The relaxation is unbounded; for the models produced in
+                    // this workspace that implies the MILP is unbounded too.
+                    return Err(SolveError::Unbounded);
+                }
+                Err(e) => return Err(e),
+            };
+            lp_iterations += lp_sol.iterations;
+            let node_key = sign * lp_sol.objective;
+            best_bound_seen = best_bound_seen.max(node.bound);
+            if node_key >= incumbent_key - self.prune_slack(incumbent_key) {
+                continue; // bound prune
+            }
+
+            // Find branching variable.
+            let frac = self.select_branch_var(&int_vars, &lp_sol.values);
+            match frac {
+                None => {
+                    // Integer feasible: round off float noise and accept.
+                    let mut values = lp_sol.values.clone();
+                    for &v in &int_vars {
+                        values[v.index()] = values[v.index()].round();
+                    }
+                    let objective = model.eval_objective(&values);
+                    let key = sign * objective;
+                    if key < incumbent_key {
+                        incumbent_key = key;
+                        incumbent = Some(Solution {
+                            status: Status::Optimal,
+                            objective,
+                            values,
+                            iterations: lp_iterations,
+                            mip: None,
+                            duals: None,
+                        });
+                    }
+                }
+                Some((v, x)) => {
+                    let (lb, ub) = node.bounds[v.index()];
+                    let down_ub = x.floor();
+                    let up_lb = x.ceil();
+                    if down_ub >= lb - self.int_tol {
+                        let mut b = node.bounds.clone();
+                        b[v.index()] = (lb, down_ub);
+                        frontier.push(Node {
+                            bounds: b,
+                            bound: node_key,
+                            depth: node.depth + 1,
+                        });
+                    }
+                    if up_lb <= ub + self.int_tol {
+                        let mut b = node.bounds.clone();
+                        b[v.index()] = (up_lb, ub);
+                        frontier.push(Node {
+                            bounds: b,
+                            bound: node_key,
+                            depth: node.depth + 1,
+                        });
+                    }
+                }
+            }
+
+            // Gap-based early stop (best-bound search keeps the frontier's
+            // minimum as a valid global dual bound).
+            if let (Some(inc), Some(fb)) = (&incumbent, frontier.best_bound()) {
+                let gap = (incumbent_key - fb).abs() / incumbent_key.abs().max(1.0);
+                if gap <= self.gap_tol {
+                    let mut sol = inc.clone();
+                    sol.iterations = lp_iterations;
+                    sol.mip = Some(MipStats {
+                        nodes,
+                        lp_iterations,
+                        best_bound: sign * fb,
+                        gap,
+                    });
+                    return Ok(sol);
+                }
+            }
+        }
+
+        match incumbent {
+            Some(mut sol) => {
+                sol.iterations = lp_iterations;
+                sol.mip = Some(MipStats {
+                    nodes,
+                    lp_iterations,
+                    best_bound: sol.objective,
+                    gap: 0.0,
+                });
+                Ok(sol)
+            }
+            None => Err(SolveError::Infeasible),
+        }
+    }
+
+    /// Absolute slack used when pruning against the incumbent.
+    fn prune_slack(&self, incumbent_key: f64) -> f64 {
+        if incumbent_key.is_finite() {
+            self.gap_tol * incumbent_key.abs().max(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    fn select_branch_var(&self, int_vars: &[VarId], values: &[f64]) -> Option<(VarId, f64)> {
+        let mut best: Option<(VarId, f64, f64)> = None; // (var, value, score)
+        for &v in int_vars {
+            let x = values[v.index()];
+            let frac = (x - x.round()).abs();
+            if frac > self.int_tol {
+                let score = (x - x.floor()).min(x.ceil() - x); // distance to nearest int
+                match self.branch_rule {
+                    BranchRule::FirstFractional => return Some((v, x)),
+                    BranchRule::MostFractional => {
+                        if best.is_none_or(|(_, _, s)| score > s) {
+                            best = Some((v, x, score));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(v, x, _)| (v, x))
+    }
+
+    fn finish_at_limit(
+        &self,
+        incumbent: Option<Solution>,
+        nodes: usize,
+        lp_iterations: usize,
+        sign: f64,
+        frontier: &Frontier,
+    ) -> Result<Solution, SolveError> {
+        match incumbent {
+            Some(mut sol) => {
+                sol.status = Status::Feasible;
+                let bound_key = frontier
+                    .best_bound()
+                    .unwrap_or(sign * sol.objective)
+                    .min(sign * sol.objective);
+                let gap =
+                    (sign * sol.objective - bound_key).abs() / sol.objective.abs().max(1.0);
+                sol.mip = Some(MipStats {
+                    nodes,
+                    lp_iterations,
+                    best_bound: sign * bound_key,
+                    gap,
+                });
+                Ok(sol)
+            }
+            None => Err(SolveError::NodeLimit { nodes }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Model, Sense, VarType};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c  s.t. 3a + 4b + 2c <= 6, binary.
+        // best: a + c? 3+2=5 w=17; b+c: 4+2=6 w=20. => 20
+        let mut m = Model::new("knap", Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(
+            "w",
+            vec![(a, 3.0), (b, 4.0), (c, 2.0)],
+            ConstraintOp::Le,
+            6.0,
+        );
+        m.set_objective(vec![(a, 10.0), (b, 13.0), (c, 7.0)], 0.0);
+        let s = MipSolver::default().solve(&m).unwrap();
+        assert_close(s.objective, 20.0);
+        assert_eq!(s.int_value(b), 1);
+        assert_eq!(s.int_value(c), 1);
+        assert_eq!(s.int_value(a), 0);
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut m = Model::new("lp", Sense::Minimize);
+        let x = m.add_cont("x", 2.0, 8.0);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        let s = MipSolver::default().solve(&m).unwrap();
+        assert_close(s.objective, 2.0);
+        assert!(s.mip.is_some());
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 5, integer: LP gives 2.5, MIP gives 2.
+        let mut m = Model::new("round", Sense::Maximize);
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 10.0);
+        m.add_constraint("c", vec![(x, 2.0), (y, 2.0)], ConstraintOp::Le, 5.0);
+        m.set_objective(vec![(x, 1.0), (y, 1.0)], 0.0);
+        let s = MipSolver::default().solve(&m).unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6, x integer: no integer in range.
+        let mut m = Model::new("noint", Sense::Minimize);
+        let x = m.add_var("x", VarType::Integer, 0.4, 0.6);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        assert_eq!(MipSolver::default().solve(&m), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn depth_first_matches_best_bound() {
+        let mut m = Model::new("dfs", Sense::Maximize);
+        let items: Vec<_> = (0..8).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let weights = [5.0, 7.0, 4.0, 3.0, 8.0, 6.0, 5.0, 9.0];
+        let values = [10.0, 13.0, 7.0, 5.0, 16.0, 11.0, 8.0, 17.0];
+        m.add_constraint(
+            "w",
+            items.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
+            ConstraintOp::Le,
+            20.0,
+        );
+        m.set_objective(items.iter().zip(values).map(|(&v, c)| (v, c)).collect(), 0.0);
+        let best = MipSolver::default().solve(&m).unwrap();
+        let dfs = MipSolver {
+            node_selection: NodeSelection::DepthFirst,
+            branch_rule: BranchRule::FirstFractional,
+            ..Default::default()
+        };
+        let s2 = dfs.solve(&m).unwrap();
+        assert_close(best.objective, s2.objective);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 4n + x  s.t. n >= 2.3 (integer), x >= 1.5 - fractional part covered by x
+        // n integer >= 2.3 -> n = 3; x >= 0. obj = 12.
+        let mut m = Model::new("mix", Sense::Minimize);
+        let n = m.add_var("n", VarType::Integer, 0.0, 100.0);
+        let x = m.add_cont("x", 0.0, 100.0);
+        m.add_constraint("c1", vec![(n, 1.0)], ConstraintOp::Ge, 2.3);
+        m.add_constraint("c2", vec![(x, 1.0), (n, 1.0)], ConstraintOp::Ge, 3.5);
+        m.set_objective(vec![(n, 4.0), (x, 1.0)], 0.0);
+        let s = MipSolver::default().solve(&m).unwrap();
+        assert_close(s.objective, 12.5); // n = 3, x = 0.5
+        assert_eq!(s.int_value(n), 3);
+    }
+
+    #[test]
+    fn node_limit_reports_error_without_incumbent() {
+        let mut m = Model::new("lim", Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"))).collect();
+        // Equality that is hard to satisfy immediately.
+        m.add_constraint(
+            "c",
+            vars.iter().map(|&v| (v, 7.0)).collect(),
+            ConstraintOp::Eq,
+            35.0,
+        );
+        m.set_objective(vars.iter().map(|&v| (v, 1.0)).collect(), 0.0);
+        let solver = MipSolver {
+            max_nodes: 1,
+            ..Default::default()
+        };
+        // With a single node we either find an incumbent (possibly even a
+        // proven optimum if the root LP lands on an integer vertex) or get
+        // the limit error; all are acceptable terminations, never a hang.
+        match solver.solve(&m) {
+            Ok(s) => assert!(m.is_feasible(&s.values, 1e-6)),
+            Err(SolveError::NodeLimit { nodes }) => assert_eq!(nodes, 1),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut m = Model::new("stats", Sense::Maximize);
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0);
+        m.add_constraint("c", vec![(x, 3.0)], ConstraintOp::Le, 10.0);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        let s = MipSolver::default().solve(&m).unwrap();
+        let stats = s.mip.unwrap();
+        assert!(stats.nodes >= 1);
+        assert!(stats.gap <= 1e-9);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn binary_equality_partition() {
+        // Exactly 2 of 4 binaries, minimize weighted sum.
+        let mut m = Model::new("part", Sense::Minimize);
+        let xs: Vec<_> = (0..4).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constraint(
+            "sum",
+            xs.iter().map(|&v| (v, 1.0)).collect(),
+            ConstraintOp::Eq,
+            2.0,
+        );
+        m.set_objective(
+            xs.iter()
+                .zip([5.0, 1.0, 3.0, 2.0])
+                .map(|(&v, c)| (v, c))
+                .collect(),
+            0.0,
+        );
+        let s = MipSolver::default().solve(&m).unwrap();
+        assert_close(s.objective, 3.0); // picks weights 1 and 2
+        assert_eq!(s.int_value(xs[1]), 1);
+        assert_eq!(s.int_value(xs[3]), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Linear expressions over model variables.
+//!
+//! [`LinExpr`] is a small convenience layer: a sum of `(variable, coefficient)`
+//! terms plus a constant, with operator overloading so model code can be
+//! written close to the mathematical formulation:
+//!
+//! ```
+//! use billcap_milp::{LinExpr, Model, Sense, VarType};
+//! let mut m = Model::new("ex", Sense::Minimize);
+//! let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+//! let y = m.add_var("y", VarType::Continuous, 0.0, 1.0);
+//! let e = 2.0 * LinExpr::var(x) + LinExpr::var(y) - 3.0;
+//! assert_eq!(e.coefficient(x), 2.0);
+//! assert_eq!(e.constant(), -3.0);
+//! ```
+
+use crate::model::VarId;
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A linear expression: `sum(coeff_i * var_i) + constant`.
+///
+/// Terms are stored in a `BTreeMap` keyed by variable so repeated additions
+/// of the same variable accumulate into a single coefficient and iteration
+/// order is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression consisting of a single variable with coefficient one.
+    pub fn var(v: VarId) -> Self {
+        let mut e = Self::new();
+        e.add_term(v, 1.0);
+        e
+    }
+
+    /// A constant expression.
+    pub fn constant_expr(c: f64) -> Self {
+        Self {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// Builds an expression from `(variable, coefficient)` pairs.
+    pub fn from_terms<I: IntoIterator<Item = (VarId, f64)>>(iter: I) -> Self {
+        let mut e = Self::new();
+        for (v, c) in iter {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// Adds `coeff * var` to the expression, merging with any existing term.
+    pub fn add_term(&mut self, v: VarId, coeff: f64) -> &mut Self {
+        let entry = self.terms.entry(v).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() == 0.0 {
+            self.terms.remove(&v);
+        }
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coefficient(&self, v: VarId) -> f64 {
+        self.terms.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// The constant offset.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over the non-zero `(variable, coefficient)` terms in
+    /// deterministic (variable-index) order.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of distinct variables with a non-zero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluates the expression at a point given by `values[var.index()]`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Consumes the expression, returning its term vector and constant.
+    pub fn into_parts(self) -> (Vec<(VarId, f64)>, f64) {
+        (self.terms.into_iter().collect(), self.constant)
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::var(v)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_expr(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        *self += -rhs;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        if k == 0.0 {
+            return LinExpr::new();
+        }
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, c: f64) -> LinExpr {
+        self.constant += c;
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, c: f64) -> LinExpr {
+        self.constant -= c;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarType};
+
+    fn two_vars() -> (Model, VarId, VarId) {
+        let mut m = Model::new("t", Sense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 1.0);
+        (m, x, y)
+    }
+
+    #[test]
+    fn terms_merge() {
+        let (_m, x, _y) = two_vars();
+        let e = LinExpr::var(x) + LinExpr::var(x);
+        assert_eq!(e.coefficient(x), 2.0);
+        assert_eq!(e.num_terms(), 1);
+    }
+
+    #[test]
+    fn cancelling_terms_are_removed() {
+        let (_m, x, _y) = two_vars();
+        let e = LinExpr::var(x) - LinExpr::var(x);
+        assert_eq!(e.num_terms(), 0);
+        assert_eq!(e.coefficient(x), 0.0);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let (_m, x, y) = two_vars();
+        let e = 3.0 * (LinExpr::var(x) + 2.0 * LinExpr::var(y) + 1.0);
+        assert_eq!(e.coefficient(x), 3.0);
+        assert_eq!(e.coefficient(y), 6.0);
+        assert_eq!(e.constant(), 3.0);
+    }
+
+    #[test]
+    fn multiply_by_zero_clears() {
+        let (_m, x, _y) = two_vars();
+        let e = (LinExpr::var(x) + 5.0) * 0.0;
+        assert_eq!(e.num_terms(), 0);
+        assert_eq!(e.constant(), 0.0);
+    }
+
+    #[test]
+    fn eval_matches_manual_computation() {
+        let (_m, x, y) = two_vars();
+        let e = 2.0 * LinExpr::var(x) - LinExpr::var(y) + 4.0;
+        let vals = vec![3.0, 5.0];
+        assert_eq!(e.eval(&vals), 2.0 * 3.0 - 5.0 + 4.0);
+    }
+
+    #[test]
+    fn negation() {
+        let (_m, x, _y) = two_vars();
+        let e = -(LinExpr::var(x) + 1.0);
+        assert_eq!(e.coefficient(x), -1.0);
+        assert_eq!(e.constant(), -1.0);
+    }
+
+    #[test]
+    fn from_terms_accumulates_duplicates() {
+        let (_m, x, y) = two_vars();
+        let e = LinExpr::from_terms(vec![(x, 1.0), (y, 2.0), (x, 3.0)]);
+        assert_eq!(e.coefficient(x), 4.0);
+        assert_eq!(e.coefficient(y), 2.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # billcap-milp
+//!
+//! A self-contained linear-programming and mixed-integer-linear-programming
+//! solver, built for the `billcap` reproduction of *Electricity Bill Capping
+//! for Cloud-Scale Data Centers that Impact the Power Markets* (ICPP 2012).
+//!
+//! The paper solves its two optimization problems (cost minimization and
+//! throughput maximization within a budget) with `lp_solve`, a C library
+//! using branch-and-bound over a simplex LP solver. This crate provides the
+//! same capability in pure Rust:
+//!
+//! * [`Model`] — a named-variable model builder with bounds, integrality,
+//!   linear constraints and a linear objective.
+//! * [`simplex`] — a dense two-phase primal simplex solver with Dantzig
+//!   pricing and a Bland's-rule anti-cycling fallback.
+//! * [`branch`] — a best-first branch-and-bound MILP solver on top of the
+//!   simplex relaxation.
+//!
+//! The problem sizes produced by the bill-capping formulation are small
+//! (tens of variables, around fifteen binaries), so a dense tableau is the
+//! right tool: it is exact up to floating-point tolerance, simple to verify,
+//! and solves these instances in microseconds.
+//!
+//! ## Example
+//!
+//! ```
+//! use billcap_milp::{Model, Sense, VarType, ConstraintOp, MipSolver};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2,  x,y integer >= 0
+//! let mut m = Model::new("example", Sense::Maximize);
+//! let x = m.add_var("x", VarType::Integer, 0.0, f64::INFINITY);
+//! let y = m.add_var("y", VarType::Integer, 0.0, f64::INFINITY);
+//! m.add_constraint("cap", vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+//! m.add_constraint("xcap", vec![(x, 1.0)], ConstraintOp::Le, 2.0);
+//! m.set_objective(vec![(x, 3.0), (y, 2.0)], 0.0);
+//!
+//! let sol = MipSolver::default().solve(&m).unwrap();
+//! assert!((sol.objective - 10.0).abs() < 1e-6); // x = 2, y = 2
+//! ```
+
+pub mod branch;
+pub mod error;
+pub mod expr;
+pub mod io;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+pub mod solution;
+
+pub use branch::{BranchRule, MipSolver, NodeSelection};
+pub use error::SolveError;
+pub use expr::LinExpr;
+pub use io::{parse_lp, write_lp};
+pub use model::{Constraint, ConstraintOp, Model, Sense, VarId, VarType, Variable};
+pub use presolve::{presolve, PresolveResult};
+pub use simplex::{LpSolver, Pricing};
+pub use solution::{MipStats, Solution, Status};
+
+/// Default feasibility / optimality tolerance used throughout the solver.
+pub const TOL: f64 = 1e-9;
+
+/// Default integrality tolerance: a value within `INT_TOL` of an integer is
+/// accepted as integral by the branch-and-bound search.
+pub const INT_TOL: f64 = 1e-6;

@@ -1,0 +1,370 @@
+//! Presolve: problem reductions applied before the simplex/branch-and-bound.
+//!
+//! Three classic, always-safe reductions run to a fixpoint:
+//!
+//! 1. **Singleton rows** (`a·x ⋈ b` with one variable) become bound
+//!    updates and are dropped.
+//! 2. **Fixed variables** (`lb == ub`) are substituted into every row and
+//!    removed from the model.
+//! 3. **Empty rows** are checked for consistency and dropped (an
+//!    inconsistent one proves infeasibility without any simplex work).
+//!
+//! The result keeps a mapping back to the original variable space so the
+//! reduced model's solution can be [`PresolveResult::restore`]d. The
+//! reductions preserve the optimal objective exactly; the property tests
+//! verify `solve(presolve(m)) == solve(m)` on random integer programs.
+
+use crate::error::SolveError;
+use crate::model::{ConstraintOp, Model, VarId, VarType};
+use crate::INT_TOL;
+
+/// Outcome of presolving a model.
+#[derive(Debug, Clone)]
+pub struct PresolveResult {
+    /// The reduced model (possibly identical to the input).
+    pub reduced: Model,
+    /// For each reduced-model variable, the original variable it maps to.
+    pub kept: Vec<VarId>,
+    /// Original variables eliminated by fixing, with their values.
+    pub fixed: Vec<(VarId, f64)>,
+    /// Number of constraints removed.
+    pub dropped_rows: usize,
+    /// Total number of original variables.
+    original_vars: usize,
+}
+
+impl PresolveResult {
+    /// Lifts a reduced-model solution vector back to the original
+    /// variable space.
+    pub fn restore(&self, reduced_values: &[f64]) -> Vec<f64> {
+        assert_eq!(reduced_values.len(), self.kept.len(), "solution size");
+        let mut out = vec![0.0; self.original_vars];
+        for (&orig, &v) in self.kept.iter().zip(reduced_values) {
+            out[orig.index()] = v;
+        }
+        for &(orig, v) in &self.fixed {
+            out[orig.index()] = v;
+        }
+        out
+    }
+}
+
+/// Applies the reductions to a fixpoint. Returns
+/// [`SolveError::Infeasible`] when a reduction proves infeasibility.
+pub fn presolve(model: &Model) -> Result<PresolveResult, SolveError> {
+    model.validate()?;
+    // Working copies of bounds and rows in the ORIGINAL variable space.
+    let mut lb: Vec<f64> = model.variables().iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = model.variables().iter().map(|v| v.ub).collect();
+    let is_int: Vec<bool> = model
+        .variables()
+        .iter()
+        .map(|v| matches!(v.var_type, VarType::Integer | VarType::Binary))
+        .collect();
+    #[derive(Clone)]
+    struct Row {
+        name: String,
+        terms: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+        alive: bool,
+    }
+    let mut rows: Vec<Row> = model
+        .constraints()
+        .iter()
+        .map(|c| Row {
+            name: c.name.clone(),
+            terms: c.terms.iter().map(|&(v, co)| (v.index(), co)).collect(),
+            op: c.op,
+            rhs: c.rhs,
+            alive: true,
+        })
+        .collect();
+    let mut fixed_value: Vec<Option<f64>> = vec![None; model.num_vars()];
+    let tol = 1e-9;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+
+        // Integer bound rounding + fixed-variable detection.
+        for i in 0..lb.len() {
+            if fixed_value[i].is_some() {
+                continue;
+            }
+            if is_int[i] {
+                let rl = if lb[i].is_finite() {
+                    (lb[i] - INT_TOL).ceil()
+                } else {
+                    lb[i]
+                };
+                let ru = if ub[i].is_finite() {
+                    (ub[i] + INT_TOL).floor()
+                } else {
+                    ub[i]
+                };
+                if rl != lb[i] || ru != ub[i] {
+                    lb[i] = rl;
+                    ub[i] = ru;
+                    changed = true;
+                }
+            }
+            if lb[i] > ub[i] + tol {
+                return Err(SolveError::Infeasible);
+            }
+            if (ub[i] - lb[i]).abs() <= tol {
+                fixed_value[i] = Some(lb[i]);
+                changed = true;
+            }
+        }
+
+        // Substitute fixed variables into rows; handle singleton/empty rows.
+        for row in rows.iter_mut().filter(|r| r.alive) {
+            // Substitution.
+            let before = row.terms.len();
+            let mut rhs = row.rhs;
+            row.terms.retain(|&(v, co)| {
+                if let Some(x) = fixed_value[v] {
+                    rhs -= co * x;
+                    false
+                } else {
+                    true
+                }
+            });
+            if row.terms.len() != before {
+                row.rhs = rhs;
+                changed = true;
+            }
+
+            match row.terms.as_slice() {
+                [] => {
+                    // Empty row: verify and drop.
+                    let ok = match row.op {
+                        ConstraintOp::Le => 0.0 <= row.rhs + tol,
+                        ConstraintOp::Ge => 0.0 >= row.rhs - tol,
+                        ConstraintOp::Eq => row.rhs.abs() <= tol,
+                    };
+                    if !ok {
+                        return Err(SolveError::Infeasible);
+                    }
+                    row.alive = false;
+                    changed = true;
+                }
+                &[(v, co)] if co.abs() > tol => {
+                    // Singleton row: fold into the variable's bounds.
+                    let bound = row.rhs / co;
+                    let op = if co > 0.0 {
+                        row.op
+                    } else {
+                        match row.op {
+                            ConstraintOp::Le => ConstraintOp::Ge,
+                            ConstraintOp::Ge => ConstraintOp::Le,
+                            ConstraintOp::Eq => ConstraintOp::Eq,
+                        }
+                    };
+                    match op {
+                        ConstraintOp::Le => {
+                            if bound < ub[v] {
+                                ub[v] = bound;
+                                changed = true;
+                            }
+                        }
+                        ConstraintOp::Ge => {
+                            if bound > lb[v] {
+                                lb[v] = bound;
+                                changed = true;
+                            }
+                        }
+                        ConstraintOp::Eq => {
+                            if bound < lb[v] - tol || bound > ub[v] + tol {
+                                return Err(SolveError::Infeasible);
+                            }
+                            lb[v] = bound;
+                            ub[v] = bound;
+                            changed = true;
+                        }
+                    }
+                    row.alive = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Assemble the reduced model.
+    let mut reduced = Model::new(format!("{}:presolved", model.name), model.sense);
+    let mut kept: Vec<VarId> = Vec::new();
+    let mut new_id: Vec<Option<VarId>> = vec![None; model.num_vars()];
+    for (i, v) in model.variables().iter().enumerate() {
+        if fixed_value[i].is_some() {
+            continue;
+        }
+        let id = reduced.add_var(v.name.clone(), v.var_type, lb[i], ub[i]);
+        new_id[i] = Some(id);
+        kept.push(VarId::from_index(i));
+    }
+    let mut dropped_rows = 0;
+    for row in &rows {
+        if !row.alive {
+            dropped_rows += 1;
+            continue;
+        }
+        let terms: Vec<(VarId, f64)> = row
+            .terms
+            .iter()
+            .map(|&(v, co)| (new_id[v].expect("unfixed var kept"), co))
+            .collect();
+        reduced.add_constraint(row.name.clone(), terms, row.op, row.rhs);
+    }
+    // Objective: substitute fixed variables into the constant.
+    let mut obj_terms: Vec<(VarId, f64)> = Vec::new();
+    let mut obj_const = model.objective_constant();
+    for &(v, co) in model.objective() {
+        match fixed_value[v.index()] {
+            Some(x) => obj_const += co * x,
+            None => obj_terms.push((new_id[v.index()].expect("kept"), co)),
+        }
+    }
+    reduced.set_objective(obj_terms, obj_const);
+
+    let fixed = fixed_value
+        .iter()
+        .enumerate()
+        .filter_map(|(i, x)| x.map(|x| (VarId::from_index(i), x)))
+        .collect();
+    Ok(PresolveResult {
+        reduced,
+        kept,
+        fixed,
+        dropped_rows,
+        original_vars: model.num_vars(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LpSolver, MipSolver, Sense};
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut m = Model::new("s", Sense::Maximize);
+        let x = m.add_cont("x", 0.0, 100.0);
+        let y = m.add_cont("y", 0.0, 100.0);
+        m.add_constraint("cx", vec![(x, 2.0)], ConstraintOp::Le, 10.0); // x <= 5
+        m.add_constraint("cy", vec![(y, -1.0)], ConstraintOp::Le, -3.0); // y >= 3
+        m.add_constraint("joint", vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 20.0);
+        m.set_objective(vec![(x, 1.0), (y, 1.0)], 0.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.reduced.num_constraints(), 1);
+        assert_eq!(p.dropped_rows, 2);
+        let v = &p.reduced.variables()[0];
+        assert_eq!((v.lb, v.ub), (0.0, 5.0));
+        let w = &p.reduced.variables()[1];
+        assert_eq!((w.lb, w.ub), (3.0, 100.0));
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        let mut m = Model::new("f", Sense::Minimize);
+        let x = m.add_cont("x", 7.0, 7.0); // fixed
+        let y = m.add_cont("y", 0.0, 100.0);
+        m.add_constraint("c", vec![(x, 2.0), (y, 1.0)], ConstraintOp::Ge, 20.0);
+        m.set_objective(vec![(x, 3.0), (y, 1.0)], 0.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.reduced.num_vars(), 1);
+        assert_eq!(p.fixed, vec![(x, 7.0)]);
+        // Row became y >= 6 (singleton) and was folded into bounds.
+        assert_eq!(p.reduced.num_constraints(), 0);
+        assert_eq!(p.reduced.variables()[0].lb, 6.0);
+        // Objective constant absorbed 3 * 7.
+        assert_eq!(p.reduced.objective_constant(), 21.0);
+        let _ = y;
+    }
+
+    #[test]
+    fn detects_infeasible_singleton_chain() {
+        let mut m = Model::new("inf", Sense::Minimize);
+        let x = m.add_cont("x", 0.0, 10.0);
+        m.add_constraint("lo", vec![(x, 1.0)], ConstraintOp::Ge, 8.0);
+        m.add_constraint("hi", vec![(x, 1.0)], ConstraintOp::Le, 3.0);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        assert_eq!(presolve(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn detects_empty_row_contradiction() {
+        let mut m = Model::new("empty", Sense::Minimize);
+        let x = m.add_cont("x", 2.0, 2.0); // fixed at 2
+        m.add_constraint("c", vec![(x, 1.0)], ConstraintOp::Ge, 5.0);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        assert_eq!(presolve(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        let mut m = Model::new("int", Sense::Maximize);
+        let x = m.add_var("x", VarType::Integer, 0.3, 4.7);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        let p = presolve(&m).unwrap();
+        let v = &p.reduced.variables()[0];
+        assert_eq!((v.lb, v.ub), (1.0, 4.0));
+    }
+
+    #[test]
+    fn restore_reassembles_full_solution() {
+        let mut m = Model::new("r", Sense::Maximize);
+        let x = m.add_cont("x", 5.0, 5.0); // fixed
+        let y = m.add_cont("y", 0.0, 10.0);
+        let z = m.add_cont("z", 0.0, 10.0);
+        m.add_constraint("c", vec![(y, 1.0), (z, 1.0)], ConstraintOp::Le, 8.0);
+        m.set_objective(vec![(x, 1.0), (y, 2.0), (z, 1.0)], 0.0);
+        let p = presolve(&m).unwrap();
+        let sol = LpSolver::default().solve(&p.reduced).unwrap();
+        let full = p.restore(&sol.values);
+        assert_eq!(full.len(), 3);
+        assert_eq!(full[x.index()], 5.0);
+        assert!(m.is_feasible(&full, 1e-7));
+        // Total objective including the fixed part.
+        let obj = m.eval_objective(&full);
+        assert!((obj - (5.0 + 16.0)).abs() < 1e-9, "obj {obj}");
+    }
+
+    #[test]
+    fn presolved_milp_preserves_optimum() {
+        // max 10a + 13b + 7c with a forced and a bounded-away variable.
+        let mut m = Model::new("mip", Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint("force_a", vec![(a, 1.0)], ConstraintOp::Ge, 1.0);
+        m.add_constraint(
+            "w",
+            vec![(a, 3.0), (b, 4.0), (c, 2.0)],
+            ConstraintOp::Le,
+            6.0,
+        );
+        m.set_objective(vec![(a, 10.0), (b, 13.0), (c, 7.0)], 0.0);
+        let direct = MipSolver::default().solve(&m).unwrap();
+        let p = presolve(&m).unwrap();
+        assert!(p.reduced.num_vars() < 3, "a should be fixed by presolve");
+        let reduced_sol = MipSolver::default().solve(&p.reduced).unwrap();
+        let full = p.restore(&reduced_sol.values);
+        let obj = m.eval_objective(&full);
+        assert!((obj - direct.objective).abs() < 1e-9);
+        assert!(m.is_feasible(&full, 1e-6));
+    }
+
+    #[test]
+    fn noop_on_irreducible_models() {
+        let mut m = Model::new("noop", Sense::Minimize);
+        let x = m.add_cont("x", 0.0, 10.0);
+        let y = m.add_cont("y", 0.0, 10.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 2.0)], ConstraintOp::Ge, 4.0);
+        m.set_objective(vec![(x, 1.0), (y, 1.0)], 0.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.reduced.num_vars(), 2);
+        assert_eq!(p.reduced.num_constraints(), 1);
+        assert_eq!(p.dropped_rows, 0);
+    }
+}

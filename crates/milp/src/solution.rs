@@ -1,0 +1,78 @@
+//! Solver output types.
+
+use crate::model::VarId;
+
+/// Quality of a returned solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Proven optimal (within tolerance).
+    Optimal,
+    /// Integer-feasible but optimality not proven (e.g. the node limit was
+    /// reached while an incumbent existed).
+    Feasible,
+}
+
+/// Search statistics from a MIP solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MipStats {
+    /// Branch-and-bound nodes whose LP relaxation was solved.
+    pub nodes: usize,
+    /// Total simplex iterations across all node relaxations.
+    pub lp_iterations: usize,
+    /// Best dual bound at termination (equals the objective when optimal).
+    pub best_bound: f64,
+    /// Relative optimality gap `|obj - bound| / max(1, |obj|)`.
+    pub gap: f64,
+}
+
+/// A primal solution to an LP or MILP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Whether the solution is proven optimal.
+    pub status: Status,
+    /// Objective value in the model's own sense (a `Maximize` model reports
+    /// the maximized value).
+    pub objective: f64,
+    /// Variable values, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Simplex iterations used (for an LP) or accumulated (for a MIP).
+    pub iterations: usize,
+    /// Branch-and-bound statistics; `None` for pure LP solves.
+    pub mip: Option<MipStats>,
+    /// Constraint duals (shadow prices) in the model's sense:
+    /// `duals[i] = d(objective)/d(rhs_i)`. Populated by LP solves;
+    /// `None` for MIP solutions (integer programs have no LP duals).
+    pub duals: Option<Vec<f64>>,
+}
+
+impl Solution {
+    /// Value of a variable in this solution.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Value of a variable rounded to the nearest integer — convenience for
+    /// integer and binary variables whose LP values carry float noise.
+    pub fn int_value(&self, v: VarId) -> i64 {
+        self.values[v.index()].round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solution {
+            status: Status::Optimal,
+            objective: 1.5,
+            values: vec![0.999999999, 2.0],
+            iterations: 3,
+            mip: None,
+            duals: None,
+        };
+        assert_eq!(s.value(VarId(1)), 2.0);
+        assert_eq!(s.int_value(VarId(0)), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # billcap-power
+//!
+//! Data-center power models for the `billcap` reproduction of *Electricity
+//! Bill Capping for Cloud-Scale Data Centers that Impact the Power Markets*
+//! (ICPP 2012).
+//!
+//! The paper models a data center's power draw as the sum of three parts
+//! (its equation 4), all driven by the number of active servers `n` chosen
+//! by the local optimizer:
+//!
+//! * **Servers** ([`server`]): `p_server = n · sp`, with per-server power a
+//!   linear function of utilization (`sp = I + (D − I)·u`). The local
+//!   optimizer keeps active servers near full utilization, so the
+//!   experiments use the operating-point power directly.
+//! * **Networking** ([`fattree`]): a k-ary fat-tree topology whose active
+//!   edge/aggregation/core switch counts grow proportionally with the
+//!   active servers (ElasticTree-style consolidation); switches themselves
+//!   are *not* energy proportional, so each active switch draws its full
+//!   constant power.
+//! * **Cooling** ([`cooling`]): an outside-air-economizer model with a
+//!   cooling efficiency `coe` — heat removed per watt spent on cooling —
+//!   so `p_cooling = (p_server + p_networking) / coe`.
+//!
+//! [`DcPowerModel`] composes the three and exposes both the exact
+//! (integral switch counts) evaluation used by the simulator and the
+//! *linearized* watts-per-active-server coefficient used by the MILP
+//! formulation in `billcap-core`.
+
+pub mod cooling;
+pub mod datacenter;
+pub mod fattree;
+pub mod server;
+
+pub use cooling::{CoolingForm, CoolingModel};
+pub use datacenter::{DcPowerBreakdown, DcPowerModel};
+pub use fattree::{FatTree, SwitchCounts, SwitchPower};
+pub use server::ServerModel;

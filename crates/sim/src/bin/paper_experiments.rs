@@ -1,0 +1,135 @@
+//! Regenerates every table/figure of the paper's evaluation and prints the
+//! corresponding rows/series, plus the ablation studies.
+//!
+//! ```text
+//! cargo run --release -p billcap-sim --bin paper_experiments            # everything
+//! cargo run --release -p billcap-sim --bin paper_experiments -- fig3   # one experiment
+//! ```
+//!
+//! Valid experiment names: `fig1 fig3 fig4 fig5_6 fig7_8 fig9 fig10
+//! solver ablation_power ablation_budget ablation_prediction
+//! ablation_network ablation_weather hierarchical predictors seeds`.
+
+use billcap_sim::experiments::{self, DEFAULT_SEED};
+use billcap_sim::export;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Optional `--csv DIR`: also write each figure's raw series as CSV.
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|pos| {
+            let dir = args
+                .get(pos + 1)
+                .expect("--csv requires a directory argument")
+                .clone();
+            args.drain(pos..=pos + 1);
+            PathBuf::from(dir)
+        });
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+    }
+    let dump = |dir: &Option<PathBuf>, file: &str, contents: String| {
+        if let Some(dir) = dir {
+            std::fs::write(dir.join(file), contents).expect("write csv");
+        }
+    };
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let seed = DEFAULT_SEED;
+
+    if want("fig1") {
+        let f = experiments::fig1();
+        println!("{}", f.render());
+        dump(&csv_dir, "fig1.csv", export::fig1_csv(&f));
+    }
+    if want("fig3") {
+        let f = experiments::fig3(seed).expect("fig3");
+        println!("{}", f.render());
+        dump(&csv_dir, "fig3.csv", export::fig3_csv(&f));
+    }
+    if want("fig4") {
+        let f = experiments::fig4(seed).expect("fig4");
+        println!("{}", f.render());
+        dump(&csv_dir, "fig4.csv", export::fig4_csv(&f));
+    }
+    if want("fig5_6") {
+        println!("Figures 5/6 —");
+        let f = experiments::fig5_6(seed).expect("fig5_6");
+        println!("{}", f.render());
+        dump(&csv_dir, "fig5_6.csv", export::budgeted_month_csv(&f));
+    }
+    if want("fig7_8") {
+        println!("Figures 7/8 —");
+        let f = experiments::fig7_8(seed).expect("fig7_8");
+        println!("{}", f.render());
+        dump(&csv_dir, "fig7_8.csv", export::budgeted_month_csv(&f));
+    }
+    if want("fig9") {
+        println!("{}", experiments::fig9(seed).expect("fig9").render());
+    }
+    if want("fig10") {
+        let f = experiments::fig10(seed).expect("fig10");
+        println!("{}", f.render());
+        dump(&csv_dir, "fig10.csv", export::fig10_csv(&f));
+    }
+    if want("solver") {
+        println!("{}", experiments::solver_scaling(20).render());
+    }
+    if want("ablation_power") {
+        println!(
+            "{}",
+            experiments::ablation_power_model(seed)
+                .expect("ablation_power")
+                .render()
+        );
+    }
+    if want("ablation_budget") {
+        println!(
+            "{}",
+            experiments::ablation_budget_history(seed)
+                .expect("ablation_budget")
+                .render()
+        );
+    }
+    if want("ablation_prediction") {
+        println!(
+            "{}",
+            experiments::ablation_prediction_error(seed)
+                .expect("ablation_prediction")
+                .render()
+        );
+    }
+    if want("ablation_network") {
+        println!(
+            "{}",
+            experiments::ablation_network_consolidation(seed)
+                .expect("ablation_network")
+                .render()
+        );
+    }
+    if want("ablation_weather") {
+        println!(
+            "{}",
+            experiments::ablation_weather(seed)
+                .expect("ablation_weather")
+                .render()
+        );
+    }
+    if want("hierarchical") {
+        println!("{}", experiments::hierarchical_comparison(5).render());
+    }
+    if want("predictors") {
+        println!("{}", experiments::predictor_accuracy(seed).render());
+    }
+    if want("seeds") {
+        println!(
+            "{}",
+            experiments::seed_stability(&[1, 7, 42, 1234, 99999])
+                .expect("seeds")
+                .render()
+        );
+    }
+}

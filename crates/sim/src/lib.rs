@@ -1,0 +1,32 @@
+//! # billcap-sim
+//!
+//! Simulation harness for the `billcap` reproduction of *Electricity Bill
+//! Capping for Cloud-Scale Data Centers that Impact the Power Markets*
+//! (ICPP 2012): hourly month-long runs of the bill capper and the Min-Only
+//! baselines over the synthetic Wikipedia-like workload and RECO-like
+//! background demand, plus one experiment runner per figure of the paper's
+//! evaluation (Section VII).
+//!
+//! * [`scenario`] — the paper's simulated setup: three data centers,
+//!   pricing policies, two months of workload (history + evaluation),
+//!   background demand, 80/20 premium split, and the $-budget family.
+//! * [`runner`] — the hour loop: budgeter → capper (or baseline) →
+//!   realized billing → metrics.
+//! * [`metrics`] — per-hour records and monthly aggregates.
+//! * [`experiments`] — `fig1` … `fig10`, `solver_scaling`, and the
+//!   ablation studies; each returns structured data and renders the same
+//!   rows/series the paper reports.
+//!
+//! Parameter sweeps (policy families, budget ladders) run in parallel with
+//! rayon — each month simulation is independent.
+
+pub mod experiments;
+pub mod export;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+pub mod table;
+
+pub use metrics::{HourRecord, MonthlyReport};
+pub use runner::{run_month, Strategy};
+pub use scenario::Scenario;

@@ -1,0 +1,179 @@
+//! Per-hour records and monthly aggregates.
+
+use billcap_core::HourOutcome;
+
+/// What happened in one simulated hour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourRecord {
+    pub hour: usize,
+    /// Offered arrival rates (requests/hour).
+    pub offered: f64,
+    pub premium_offered: f64,
+    pub ordinary_offered: f64,
+    /// Served (admitted, QoS-met) rates.
+    pub premium_served: f64,
+    pub ordinary_served: f64,
+    /// Cost actually billed at true prices ($).
+    pub realized_cost: f64,
+    /// Cost the strategy believed it would pay ($).
+    pub believed_cost: f64,
+    /// The budgeter's allotment, when a budget was in force.
+    pub hourly_budget: Option<f64>,
+    /// Which branch of the capper ran (None for baselines).
+    pub outcome: Option<HourOutcome>,
+    /// Per-site dispatch (requests/hour).
+    pub lambda: Vec<f64>,
+    /// Per-site realized power (MW).
+    pub power_mw: Vec<f64>,
+    /// Per-site realized price ($/MWh).
+    pub price: Vec<f64>,
+}
+
+impl HourRecord {
+    /// True when the realized cost exceeded the hour's budget.
+    pub fn violates_budget(&self) -> bool {
+        self.hourly_budget
+            .is_some_and(|b| self.realized_cost > b * (1.0 + 1e-9))
+    }
+
+    /// Total served rate.
+    pub fn served(&self) -> f64 {
+        self.premium_served + self.ordinary_served
+    }
+}
+
+/// A month of simulation under one strategy and budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthlyReport {
+    pub strategy_name: String,
+    pub monthly_budget: Option<f64>,
+    pub hours: Vec<HourRecord>,
+}
+
+impl MonthlyReport {
+    /// Total realized electricity bill ($).
+    pub fn total_cost(&self) -> f64 {
+        self.hours.iter().map(|h| h.realized_cost).sum()
+    }
+
+    /// Total cost the strategy believed it was incurring ($).
+    pub fn total_believed_cost(&self) -> f64 {
+        self.hours.iter().map(|h| h.believed_cost).sum()
+    }
+
+    /// Served / offered for premium traffic (1.0 = all served).
+    pub fn premium_throughput(&self) -> f64 {
+        let offered: f64 = self.hours.iter().map(|h| h.premium_offered).sum();
+        if offered == 0.0 {
+            return 1.0;
+        }
+        self.hours.iter().map(|h| h.premium_served).sum::<f64>() / offered
+    }
+
+    /// Served / offered for ordinary traffic.
+    pub fn ordinary_throughput(&self) -> f64 {
+        let offered: f64 = self.hours.iter().map(|h| h.ordinary_offered).sum();
+        if offered == 0.0 {
+            return 1.0;
+        }
+        self.hours.iter().map(|h| h.ordinary_served).sum::<f64>() / offered
+    }
+
+    /// Total requests served over the month.
+    pub fn total_served(&self) -> f64 {
+        self.hours.iter().map(HourRecord::served).sum()
+    }
+
+    /// Hours whose realized cost exceeded their hourly budget.
+    pub fn hourly_violations(&self) -> usize {
+        self.hours.iter().filter(|h| h.violates_budget()).count()
+    }
+
+    /// Realized bill relative to the monthly budget (1.0 = exactly on
+    /// budget); `None` when no budget was in force.
+    pub fn budget_utilization(&self) -> Option<f64> {
+        self.monthly_budget.map(|b| self.total_cost() / b)
+    }
+
+    /// True when the monthly bill exceeded the monthly budget.
+    pub fn violates_monthly_budget(&self) -> bool {
+        self.budget_utilization().is_some_and(|u| u > 1.0 + 1e-9)
+    }
+
+    /// Hourly realized-cost series ($).
+    pub fn hourly_costs(&self) -> Vec<f64> {
+        self.hours.iter().map(|h| h.realized_cost).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cost: f64, budget: Option<f64>) -> HourRecord {
+        HourRecord {
+            hour: 0,
+            offered: 100.0,
+            premium_offered: 80.0,
+            ordinary_offered: 20.0,
+            premium_served: 80.0,
+            ordinary_served: 10.0,
+            realized_cost: cost,
+            believed_cost: cost * 0.9,
+            hourly_budget: budget,
+            outcome: None,
+            lambda: vec![],
+            power_mw: vec![],
+            price: vec![],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = MonthlyReport {
+            strategy_name: "test".into(),
+            monthly_budget: Some(100.0),
+            hours: vec![record(30.0, Some(40.0)), record(50.0, Some(40.0))],
+        };
+        assert_eq!(r.total_cost(), 80.0);
+        assert_eq!(r.hourly_violations(), 1);
+        assert_eq!(r.budget_utilization(), Some(0.8));
+        assert!(!r.violates_monthly_budget());
+        assert_eq!(r.premium_throughput(), 1.0);
+        assert_eq!(r.ordinary_throughput(), 0.5);
+        assert_eq!(r.total_served(), 180.0);
+    }
+
+    #[test]
+    fn monthly_violation() {
+        let r = MonthlyReport {
+            strategy_name: "test".into(),
+            monthly_budget: Some(70.0),
+            hours: vec![record(30.0, None), record(50.0, None)],
+        };
+        assert!(r.violates_monthly_budget());
+        assert_eq!(r.hourly_violations(), 0);
+    }
+
+    #[test]
+    fn no_budget_means_no_utilization() {
+        let r = MonthlyReport {
+            strategy_name: "test".into(),
+            monthly_budget: None,
+            hours: vec![record(30.0, None)],
+        };
+        assert_eq!(r.budget_utilization(), None);
+        assert!(!r.violates_monthly_budget());
+    }
+
+    #[test]
+    fn empty_throughputs_default_to_one() {
+        let r = MonthlyReport {
+            strategy_name: "t".into(),
+            monthly_budget: None,
+            hours: vec![],
+        };
+        assert_eq!(r.premium_throughput(), 1.0);
+        assert_eq!(r.ordinary_throughput(), 1.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! The monthly-to-hourly budgeter (paper Sections III and VI-B).
+//!
+//! At the start of the budgeting period the budgeter receives a monthly
+//! cost budget. It splits it into hourly budgets using the workload's
+//! hour-of-week profile learned from history (the paper uses the previous
+//! ~2 weeks of the October trace): hours that historically carry more
+//! traffic get proportionally more budget. Unused budget from earlier
+//! hours is carried over to the remaining hours of the *same week*
+//! (the paper's Figure 6 shows the resulting intra-week growth); a premium
+//! QoS overrun likewise reduces what is left for the week.
+
+use crate::trace::{HourlyTrace, HOURS_PER_WEEK};
+
+/// Splits a monthly budget into hourly budgets using historical hour-of-week
+/// workload weights, with intra-week carry-over.
+///
+/// ```
+/// use billcap_workload::Budgeter;
+///
+/// // $1,680/week split uniformly is $10/hour; underspending carries the
+/// // surplus to later hours of the same week.
+/// let mut b = Budgeter::uniform(1680.0, 168);
+/// assert_eq!(b.hourly_budget(), 10.0);
+/// b.record_spend(4.0);
+/// assert_eq!(b.hourly_budget(), 16.0); // $6 carried over
+/// ```
+#[derive(Debug, Clone)]
+pub struct Budgeter {
+    monthly_budget: f64,
+    horizon_hours: usize,
+    /// Hour-of-week weights; sum to 1 over a week.
+    weights: [f64; HOURS_PER_WEEK],
+    /// Budget allotted to one full week.
+    weekly_budget: f64,
+    current_hour: usize,
+    /// Unused (or overdrawn, if negative) budget within the current week.
+    carryover: f64,
+    spent_total: f64,
+}
+
+impl Budgeter {
+    /// Creates a budgeter for a `horizon_hours`-long month with the given
+    /// monthly budget, learning hourly weights from `history` (at least
+    /// one week; the paper finds two weeks sufficient for the Wikipedia
+    /// trace's weekly regularity).
+    pub fn from_history(monthly_budget: f64, history: &HourlyTrace, horizon_hours: usize) -> Self {
+        assert!(monthly_budget > 0.0, "budget must be positive");
+        assert!(horizon_hours > 0, "horizon must be non-empty");
+        assert!(
+            history.len() >= HOURS_PER_WEEK,
+            "need at least one week of history"
+        );
+        let profile = history.hour_of_week_profile();
+        let total: f64 = profile.iter().sum();
+        let mut weights = [1.0 / HOURS_PER_WEEK as f64; HOURS_PER_WEEK];
+        if total > 0.0 {
+            for (w, p) in weights.iter_mut().zip(profile) {
+                *w = p / total;
+            }
+        }
+        let weeks = horizon_hours as f64 / HOURS_PER_WEEK as f64;
+        Self {
+            monthly_budget,
+            horizon_hours,
+            weights,
+            weekly_budget: monthly_budget / weeks,
+            current_hour: 0,
+            carryover: 0.0,
+            spent_total: 0.0,
+        }
+    }
+
+    /// A budgeter with uniform hourly weights (no history available).
+    pub fn uniform(monthly_budget: f64, horizon_hours: usize) -> Self {
+        assert!(monthly_budget > 0.0, "budget must be positive");
+        assert!(horizon_hours > 0, "horizon must be non-empty");
+        let weeks = horizon_hours as f64 / HOURS_PER_WEEK as f64;
+        Self {
+            monthly_budget,
+            horizon_hours,
+            weights: [1.0 / HOURS_PER_WEEK as f64; HOURS_PER_WEEK],
+            weekly_budget: monthly_budget / weeks,
+            current_hour: 0,
+            carryover: 0.0,
+            spent_total: 0.0,
+        }
+    }
+
+    /// Budget available for the current hour: this hour's weighted share of
+    /// the weekly budget plus whatever the week has accumulated unused.
+    pub fn hourly_budget(&self) -> f64 {
+        let h = self.current_hour % HOURS_PER_WEEK;
+        (self.weights[h] * self.weekly_budget + self.carryover).max(0.0)
+    }
+
+    /// Records the cost actually incurred this hour and advances the clock.
+    /// Panics when called past the horizon.
+    pub fn record_spend(&mut self, cost: f64) {
+        assert!(
+            self.current_hour < self.horizon_hours,
+            "budgeting horizon exhausted"
+        );
+        assert!(cost >= 0.0 && cost.is_finite(), "cost must be non-negative");
+        let h = self.current_hour % HOURS_PER_WEEK;
+        let allotted = self.weights[h] * self.weekly_budget;
+        self.carryover += allotted - cost;
+        self.spent_total += cost;
+        self.current_hour += 1;
+        if self.current_hour.is_multiple_of(HOURS_PER_WEEK) {
+            // New week: the paper carries unused budget only within a week.
+            self.carryover = 0.0;
+        }
+    }
+
+    /// Hours elapsed.
+    pub fn hours_elapsed(&self) -> usize {
+        self.current_hour
+    }
+
+    /// Total cost recorded so far.
+    pub fn spent(&self) -> f64 {
+        self.spent_total
+    }
+
+    /// The full monthly budget.
+    pub fn monthly_budget(&self) -> f64 {
+        self.monthly_budget
+    }
+
+    /// Remaining monthly budget (may go negative if premium QoS forced
+    /// overruns).
+    pub fn remaining(&self) -> f64 {
+        self.monthly_budget - self.spent_total
+    }
+
+    /// Fraction of the monthly budget consumed.
+    pub fn utilization(&self) -> f64 {
+        self.spent_total / self.monthly_budget
+    }
+
+    /// The learned hour-of-week weights (sum to 1).
+    pub fn weights(&self) -> &[f64; HOURS_PER_WEEK] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weekly_history(pattern: &[f64]) -> HourlyTrace {
+        // Two identical weeks of an arbitrary 168-hour pattern.
+        let mut v = pattern.to_vec();
+        v.extend_from_slice(pattern);
+        HourlyTrace::new(v)
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let pattern: Vec<f64> = (0..HOURS_PER_WEEK).map(|h| 1.0 + (h % 24) as f64).collect();
+        let b = Budgeter::from_history(1000.0, &weekly_history(&pattern), 4 * HOURS_PER_WEEK);
+        let sum: f64 = b.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_hours_get_bigger_budgets() {
+        let mut pattern = vec![1.0; HOURS_PER_WEEK];
+        pattern[10] = 10.0; // one very busy hour
+        let b = Budgeter::from_history(1000.0, &weekly_history(&pattern), 4 * HOURS_PER_WEEK);
+        assert!(b.weights()[10] > 5.0 * b.weights()[11]);
+    }
+
+    #[test]
+    fn total_allocation_equals_monthly_budget() {
+        let pattern: Vec<f64> = (0..HOURS_PER_WEEK).map(|h| 1.0 + (h % 7) as f64).collect();
+        let horizon = 4 * HOURS_PER_WEEK; // exactly four weeks
+        let mut b = Budgeter::from_history(5000.0, &weekly_history(&pattern), horizon);
+        let mut allotted = 0.0;
+        for _ in 0..horizon {
+            // Spending exactly the hourly budget keeps carry-over at zero,
+            // so the sum of hourly budgets must equal the monthly budget.
+            let h = b.hourly_budget();
+            allotted += h;
+            b.record_spend(h);
+        }
+        assert!((allotted - 5000.0).abs() < 1e-6, "allotted {allotted}");
+        assert!((b.remaining()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn underspending_carries_over_within_week() {
+        let mut b = Budgeter::uniform(1680.0, HOURS_PER_WEEK); // $10/hour
+        let first = b.hourly_budget();
+        assert!((first - 10.0).abs() < 1e-9);
+        b.record_spend(4.0); // leave $6 unused
+        let second = b.hourly_budget();
+        assert!((second - 16.0).abs() < 1e-9, "second {second}");
+    }
+
+    #[test]
+    fn carryover_resets_at_week_boundary() {
+        let mut b = Budgeter::uniform(2.0 * 1680.0, 2 * HOURS_PER_WEEK); // $10/hour
+        // Spend nothing all of week one.
+        for _ in 0..HOURS_PER_WEEK {
+            b.record_spend(0.0);
+        }
+        // Week two starts fresh at the base hourly allotment.
+        let budget = b.hourly_budget();
+        assert!((budget - 10.0).abs() < 1e-9, "got {budget}");
+    }
+
+    #[test]
+    fn overrun_reduces_later_budgets() {
+        let mut b = Budgeter::uniform(1680.0, HOURS_PER_WEEK); // $10/hour
+        b.record_spend(25.0); // $15 overrun
+        let next = b.hourly_budget();
+        assert!(next < 1e-9, "overdrawn week should clamp to zero, got {next}");
+        b.record_spend(0.0);
+        // Two hours' allotment ($20) minus the $15 overdraft leaves $5 for
+        // the third hour's own $10 + carryover -5 => 5.
+        let third = b.hourly_budget();
+        assert!((third - 5.0).abs() < 1e-9, "third {third}");
+    }
+
+    #[test]
+    fn accounting_totals() {
+        let mut b = Budgeter::uniform(100.0, 10);
+        b.record_spend(3.0);
+        b.record_spend(7.0);
+        assert_eq!(b.spent(), 10.0);
+        assert_eq!(b.remaining(), 90.0);
+        assert_eq!(b.hours_elapsed(), 2);
+        assert!((b.utilization() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon exhausted")]
+    fn spending_past_horizon_panics() {
+        let mut b = Budgeter::uniform(100.0, 1);
+        b.record_spend(1.0);
+        b.record_spend(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one week of history")]
+    fn short_history_rejected() {
+        let h = HourlyTrace::new(vec![1.0; 24]);
+        Budgeter::from_history(100.0, &h, 100);
+    }
+}

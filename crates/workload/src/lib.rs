@@ -1,0 +1,47 @@
+//! # billcap-workload
+//!
+//! Workload and demand substrate for the `billcap` reproduction of
+//! *Electricity Bill Capping for Cloud-Scale Data Centers that Impact the
+//! Power Markets* (ICPP 2012).
+//!
+//! The paper's evaluation drives its simulator with (a) a two-month
+//! Wikipedia request trace (October 2007 as budgeting history, November
+//! 2007 as the evaluated month) and (b) a PJM Rockland Electric (RECO)
+//! zonal demand trace standing in for the power consumed by everyone else
+//! in each data center's ISO region. Neither trace ships with the paper,
+//! so this crate synthesizes statistically equivalent, deterministic
+//! (seeded) replacements — the algorithms only consume the hourly series
+//! and their weekly regularity (see DESIGN.md, substitutions table).
+//!
+//! Components:
+//!
+//! * [`trace`] — [`HourlyTrace`], an hourly time series with hour-of-week
+//!   arithmetic and CSV round-tripping.
+//! * [`generator`] — seeded synthetic request-trace generation with
+//!   diurnal/weekly structure, noise, growth, and flash-crowd events
+//!   (the paper's "breaking news" scenario).
+//! * [`background`] — regional background power demand `d_i(t)` per
+//!   data-center location.
+//! * [`split`] — the premium/ordinary customer split (80 % / 20 % in the
+//!   paper's experiments).
+//! * [`budgeter`] — the monthly-to-hourly [`Budgeter`]: hour-of-week
+//!   weights learned from history, with intra-week carry-over of unused
+//!   budget (paper Section III and VI-B).
+
+pub mod background;
+pub mod budgeter;
+pub mod generator;
+pub mod predictor;
+pub mod split;
+pub mod trace;
+pub mod weather;
+
+pub use background::BackgroundDemand;
+pub use budgeter::Budgeter;
+pub use generator::{FlashCrowd, TraceConfig, TraceGenerator};
+pub use predictor::{
+    mape, EwmaSeasonalPredictor, HourOfWeekPredictor, NaivePredictor, Predictor,
+};
+pub use split::CustomerSplit;
+pub use weather::{EconomizerCurve, TemperatureModel};
+pub use trace::{HourlyTrace, HOURS_PER_WEEK};

@@ -1,0 +1,246 @@
+//! Workload prediction (paper Section IX).
+//!
+//! The bill-capping scheme assumes "an accurate enough prediction
+//! algorithm deployed in the system to forecast future incoming workload";
+//! the paper's future work is robustness when that prediction is
+//! imperfect. This module provides the predictors that assumption refers
+//! to — a naive last-value predictor, the hour-of-week seasonal predictor
+//! the budgeter's weights embody, and an EWMA-corrected seasonal
+//! predictor — plus accuracy metrics, so the robustness experiments in
+//! `billcap-sim` can sweep prediction quality.
+
+use crate::trace::{HourlyTrace, HOURS_PER_WEEK};
+
+/// A one-step-ahead hourly workload predictor.
+pub trait Predictor {
+    /// Feeds the observation for the current hour and advances the clock.
+    fn observe(&mut self, value: f64);
+    /// Predicts the next hour's workload. Implementations must return a
+    /// non-negative value; before any observation they may return 0.
+    fn predict_next(&self) -> f64;
+}
+
+/// Predicts the next hour equals the last observed hour.
+#[derive(Debug, Clone, Default)]
+pub struct NaivePredictor {
+    last: f64,
+}
+
+impl Predictor for NaivePredictor {
+    fn observe(&mut self, value: f64) {
+        self.last = value;
+    }
+    fn predict_next(&self) -> f64 {
+        self.last
+    }
+}
+
+/// Seasonal predictor: the mean of past observations at the upcoming
+/// hour-of-week — the estimator behind the budgeter's weights.
+#[derive(Debug, Clone)]
+pub struct HourOfWeekPredictor {
+    sums: [f64; HOURS_PER_WEEK],
+    counts: [u64; HOURS_PER_WEEK],
+    clock: usize,
+}
+
+impl HourOfWeekPredictor {
+    /// An empty predictor starting at hour-of-week zero.
+    pub fn new() -> Self {
+        Self {
+            sums: [0.0; HOURS_PER_WEEK],
+            counts: [0; HOURS_PER_WEEK],
+            clock: 0,
+        }
+    }
+
+    /// Warm-starts from a history trace whose hour 0 is a Monday 00:00.
+    pub fn from_history(history: &HourlyTrace) -> Self {
+        let mut p = Self::new();
+        for &v in history.values() {
+            p.observe(v);
+        }
+        p
+    }
+}
+
+impl Default for HourOfWeekPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for HourOfWeekPredictor {
+    fn observe(&mut self, value: f64) {
+        let h = self.clock % HOURS_PER_WEEK;
+        self.sums[h] += value;
+        self.counts[h] += 1;
+        self.clock += 1;
+    }
+
+    fn predict_next(&self) -> f64 {
+        let h = self.clock % HOURS_PER_WEEK;
+        if self.counts[h] == 0 {
+            return 0.0;
+        }
+        self.sums[h] / self.counts[h] as f64
+    }
+}
+
+/// Seasonal predictor with a multiplicative EWMA correction: tracks the
+/// recent ratio of actual to seasonal-predicted workload, so level shifts
+/// (e.g. organic growth) are followed within a few hours.
+#[derive(Debug, Clone)]
+pub struct EwmaSeasonalPredictor {
+    seasonal: HourOfWeekPredictor,
+    /// Smoothed actual/seasonal ratio.
+    level: f64,
+    /// EWMA smoothing factor in `(0, 1]`; higher adapts faster.
+    alpha: f64,
+}
+
+impl EwmaSeasonalPredictor {
+    /// Creates a predictor with the given smoothing factor.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            seasonal: HourOfWeekPredictor::new(),
+            level: 1.0,
+            alpha,
+        }
+    }
+
+    /// Warm-starts the seasonal component from history.
+    pub fn from_history(history: &HourlyTrace, alpha: f64) -> Self {
+        let mut p = Self::new(alpha);
+        p.seasonal = HourOfWeekPredictor::from_history(history);
+        p
+    }
+}
+
+impl Predictor for EwmaSeasonalPredictor {
+    fn observe(&mut self, value: f64) {
+        let base = self.seasonal.predict_next();
+        if base > 0.0 {
+            let ratio = value / base;
+            self.level = (1.0 - self.alpha) * self.level + self.alpha * ratio;
+        }
+        self.seasonal.observe(value);
+    }
+
+    fn predict_next(&self) -> f64 {
+        (self.seasonal.predict_next() * self.level).max(0.0)
+    }
+}
+
+/// Mean absolute percentage error of a predictor run over a trace,
+/// starting from its current state. Hours with zero actual traffic are
+/// skipped.
+pub fn mape<P: Predictor>(predictor: &mut P, trace: &HourlyTrace) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for &actual in trace.values() {
+        let predicted = predictor.predict_next();
+        if actual > 0.0 {
+            total += ((predicted - actual) / actual).abs();
+            counted += 1;
+        }
+        predictor.observe(actual);
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    fn two_months() -> (HourlyTrace, HourlyTrace) {
+        TraceGenerator::new(TraceConfig::wikipedia_like(1e6, 9)).generate_two_months()
+    }
+
+    #[test]
+    fn naive_repeats_last_value() {
+        let mut p = NaivePredictor::default();
+        assert_eq!(p.predict_next(), 0.0);
+        p.observe(42.0);
+        assert_eq!(p.predict_next(), 42.0);
+        p.observe(7.0);
+        assert_eq!(p.predict_next(), 7.0);
+    }
+
+    #[test]
+    fn hour_of_week_learns_a_periodic_signal_exactly() {
+        // A perfectly weekly signal is predicted exactly after one week.
+        let pattern: Vec<f64> = (0..HOURS_PER_WEEK).map(|h| 100.0 + h as f64).collect();
+        let mut three_weeks = pattern.clone();
+        three_weeks.extend(pattern.clone());
+        let history = HourlyTrace::new(three_weeks);
+        let mut p = HourOfWeekPredictor::from_history(&history);
+        let err = mape(&mut p, &HourlyTrace::new(pattern));
+        assert!(err < 1e-12, "mape {err}");
+    }
+
+    #[test]
+    fn seasonal_beats_naive_on_diurnal_traffic() {
+        let (history, eval) = two_months();
+        let mut seasonal = HourOfWeekPredictor::from_history(&history);
+        let mut naive = NaivePredictor::default();
+        let seasonal_err = mape(&mut seasonal, &eval);
+        let naive_err = mape(&mut naive, &eval);
+        assert!(
+            seasonal_err < naive_err,
+            "seasonal {seasonal_err} vs naive {naive_err}"
+        );
+        assert!(seasonal_err < 0.2, "seasonal MAPE too high: {seasonal_err}");
+    }
+
+    #[test]
+    fn ewma_tracks_level_shift_faster_than_pure_seasonal() {
+        let (history, eval) = two_months();
+        // Shift the evaluation month up 30%: a level change the seasonal
+        // model has never seen.
+        let mut shifted = eval.clone();
+        shifted.scale(1.3);
+        let mut seasonal = HourOfWeekPredictor::from_history(&history);
+        let mut ewma = EwmaSeasonalPredictor::from_history(&history, 0.2);
+        let seasonal_err = mape(&mut seasonal, &shifted);
+        let ewma_err = mape(&mut ewma, &shifted);
+        assert!(
+            ewma_err < seasonal_err,
+            "ewma {ewma_err} vs seasonal {seasonal_err}"
+        );
+    }
+
+    #[test]
+    fn cold_start_predicts_zero_then_learns() {
+        let mut p = HourOfWeekPredictor::new();
+        assert_eq!(p.predict_next(), 0.0);
+        p.observe(10.0);
+        // Next hour-of-week slot is still unobserved.
+        assert_eq!(p.predict_next(), 0.0);
+        // After a full week the first slot repeats.
+        for _ in 1..HOURS_PER_WEEK {
+            p.observe(5.0);
+        }
+        assert_eq!(p.predict_next(), 10.0);
+    }
+
+    #[test]
+    fn mape_of_perfect_prediction_is_zero() {
+        let t = HourlyTrace::new(vec![5.0; 48]);
+        let mut p = NaivePredictor::default();
+        p.observe(5.0);
+        assert_eq!(mape(&mut p, &t), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        EwmaSeasonalPredictor::new(0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Outside-air temperature traces.
+//!
+//! The paper's cooling model is an outside-air economizer whose efficiency
+//! `coe` improves as the ambient temperature drops. The paper freezes
+//! `coe` per site; this module provides the temperature series needed to
+//! let it *vary by hour* — a seasonal + diurnal + noise model per
+//! location — enabling the weather-aware-routing ablation in
+//! `billcap-sim` (cool sites attract load during hot afternoons
+//! elsewhere).
+
+use crate::generator::{TraceConfig, TraceGenerator};
+use crate::trace::HourlyTrace;
+
+/// A location's ambient-temperature model (°C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureModel {
+    /// Mean temperature over the horizon (°C).
+    pub mean_c: f64,
+    /// Half of the day-night swing (°C).
+    pub diurnal_swing_c: f64,
+    /// Random hour-to-hour weather noise (°C, std).
+    pub noise_c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TemperatureModel {
+    /// Presets for the paper's three data-center locations: a cool
+    /// northern site, a temperate one, and a warm southern one (November
+    /// conditions).
+    pub fn paper_location(location: usize, seed: u64) -> Self {
+        let (mean_c, swing) = match location {
+            0 => (6.0, 4.0),   // cool site (best coe, matches coe 1.94)
+            1 => (16.0, 6.0),  // warm site (worst coe, matches coe 1.39)
+            2 => (11.0, 5.0),  // temperate site (coe 1.74)
+            _ => (10.0 + location as f64, 5.0),
+        };
+        Self {
+            mean_c,
+            diurnal_swing_c: swing,
+            noise_c: 1.5,
+            seed: seed ^ (0xc0ffee_u64.wrapping_mul(location as u64 + 1)),
+        }
+    }
+
+    /// Generates `hours` of hourly temperatures (°C). Afternoon peak at
+    /// 15:00, deterministic per seed.
+    pub fn generate(&self, hours: usize) -> HourlyTrace {
+        // Reuse the trace generator on a shifted scale: temperatures can be
+        // negative, so generate a positive anomaly series and re-center.
+        let anomaly = TraceGenerator::new(TraceConfig {
+            mean_rate: 100.0,
+            diurnal_amplitude: (self.diurnal_swing_c / 100.0).min(0.9),
+            peak_hour: 15,
+            day_of_week_factor: [1.0; 7],
+            noise_std: self.noise_c / 100.0,
+            growth: 0.0,
+            flash_crowds: Vec::new(),
+            seed: self.seed,
+        })
+        .generate(hours);
+        HourlyTrace::new(
+            anomaly
+                .values()
+                .iter()
+                .map(|&v| self.mean_c + (v - 100.0))
+                .collect(),
+        )
+    }
+}
+
+/// Cooling efficiency as a function of ambient temperature: a linear
+/// economizer curve `coe(T) = coe_ref + slope · (T_ref − T)`, clamped to
+/// a physical band. Calibrated so that each paper site's *mean* November
+/// temperature reproduces its printed static `coe`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EconomizerCurve {
+    /// Efficiency at the reference temperature.
+    pub coe_ref: f64,
+    /// Reference temperature (°C).
+    pub t_ref_c: f64,
+    /// Efficiency gained per °C of cooling below the reference.
+    pub slope_per_c: f64,
+    /// Physical floor (mechanical chillers take over).
+    pub min_coe: f64,
+    /// Physical ceiling (free cooling saturates).
+    pub max_coe: f64,
+}
+
+impl EconomizerCurve {
+    /// A curve anchored so `coe(t_ref) = coe_ref`, with the default
+    /// sensitivity of 0.05 coe/°C and band `[0.8, 4.0]`.
+    pub fn anchored(coe_ref: f64, t_ref_c: f64) -> Self {
+        assert!(coe_ref > 0.0, "reference efficiency must be positive");
+        Self {
+            coe_ref,
+            t_ref_c,
+            slope_per_c: 0.05,
+            min_coe: 0.8,
+            max_coe: 4.0,
+        }
+    }
+
+    /// Efficiency at a given ambient temperature.
+    pub fn coe_at(&self, temperature_c: f64) -> f64 {
+        (self.coe_ref + self.slope_per_c * (self.t_ref_c - temperature_c))
+            .clamp(self.min_coe, self.max_coe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_centers_on_mean() {
+        let t = TemperatureModel::paper_location(0, 42).generate(30 * 24);
+        let mean = t.mean();
+        assert!((mean - 6.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn afternoon_is_warmer_than_night() {
+        let t = TemperatureModel::paper_location(1, 42).generate(30 * 24);
+        let mut by_hour = [0.0f64; 24];
+        for (i, &v) in t.values().iter().enumerate() {
+            by_hour[i % 24] += v;
+        }
+        assert!(by_hour[15] > by_hour[4] + 24.0, "no diurnal swing");
+    }
+
+    #[test]
+    fn locations_differ_and_are_deterministic() {
+        let a = TemperatureModel::paper_location(0, 1).generate(100);
+        let b = TemperatureModel::paper_location(1, 1).generate(100);
+        assert_ne!(a, b);
+        assert!(a.mean() < b.mean(), "site 0 should be cooler");
+        assert_eq!(
+            TemperatureModel::paper_location(0, 1).generate(100),
+            a
+        );
+    }
+
+    #[test]
+    fn economizer_improves_in_the_cold() {
+        let c = EconomizerCurve::anchored(1.94, 6.0);
+        assert!((c.coe_at(6.0) - 1.94).abs() < 1e-12);
+        assert!(c.coe_at(-5.0) > c.coe_at(6.0));
+        assert!(c.coe_at(25.0) < c.coe_at(6.0));
+    }
+
+    #[test]
+    fn economizer_clamps_to_physical_band() {
+        let c = EconomizerCurve::anchored(1.94, 6.0);
+        assert_eq!(c.coe_at(-1000.0), 4.0);
+        assert_eq!(c.coe_at(1000.0), 0.8);
+    }
+}

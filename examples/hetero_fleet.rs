@@ -1,0 +1,76 @@
+//! Heterogeneous fleet: the paper's Section IX future-work extension.
+//!
+//! Real data centers accumulate server generations with different speeds
+//! and power draws. The heterogeneous local optimizer activates classes in
+//! efficiency order (watt-hours per request), spilling to older hardware
+//! only when the new fleet saturates — and the resulting power curve is
+//! piecewise linear rather than the homogeneous model's single slope.
+//!
+//! Run with: `cargo run --release --example hetero_fleet`
+
+use billcap::core::hetero::{HeteroDataCenter, ServerClass};
+
+fn main() {
+    // A site that grew through three hardware generations.
+    let site = HeteroDataCenter::new(
+        vec![
+            ServerClass {
+                name: "gen1-athlon".into(),
+                watts: 88.88,
+                service_rate: 500.0,
+                count: 120_000,
+            },
+            ServerClass {
+                name: "gen2-xeon".into(),
+                watts: 62.0,
+                service_rate: 650.0,
+                count: 90_000,
+            },
+            ServerClass {
+                name: "gen3-epyc".into(),
+                watts: 48.0,
+                service_rate: 900.0,
+                count: 60_000,
+            },
+        ],
+        1.5 / 500.0, // response-time target reachable by every class
+        1.0,
+    );
+
+    println!("class efficiency (watt-hours per request):");
+    for (i, class) in site.classes.iter().enumerate() {
+        println!(
+            "  {:<12} {:>7.4} Wh/req  capacity {:>6.1}M req/h",
+            class.name,
+            class.watt_hours_per_request(),
+            site.class_capacity(i) / 1e6
+        );
+    }
+    println!("site capacity: {:.1}M req/h\n", site.capacity() / 1e6);
+
+    println!(
+        "{:>14}  {:>10}  {:>28}",
+        "load (Mreq/h)", "power (MW)", "active servers by class"
+    );
+    for step in 1..=10 {
+        let rate = site.capacity() * step as f64 / 10.0 * 0.999;
+        let plan = site.activate(rate).expect("within capacity");
+        let detail: Vec<String> = plan
+            .entries
+            .iter()
+            .map(|e| format!("{}:{}", site.classes[e.class_index].name, e.servers))
+            .collect();
+        println!(
+            "{:>14.1}  {:>10.2}  {}",
+            rate / 1e6,
+            plan.power_w / 1e6,
+            detail.join("  ")
+        );
+    }
+
+    println!(
+        "\nthe newest generation fills first; older generations only wake up as the \
+         load approaches site capacity, so the marginal watt-hours per request rise \
+         in steps — a piecewise-linear power curve the MILP can adopt per segment."
+    );
+}

@@ -1,0 +1,82 @@
+//! Quickstart: one budgeted hour of the bill capper.
+//!
+//! Builds the paper's three-data-center system, offers it an hour of
+//! traffic, and shows the two-step decision: where the requests go, what
+//! each region's electricity price becomes, and what the hour costs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use billcap::core::{BillCapper, DataCenterSystem, HourOutcome};
+
+fn main() {
+    // The paper's simulated system: three geographically distributed data
+    // centers under the five-level locational pricing policies (Policy 1).
+    let system = DataCenterSystem::paper_system(1);
+
+    // This hour: 800M requests offered, 80% from premium customers.
+    let offered = 8.0e8;
+    let premium = 0.8 * offered;
+    // Regional background demand (MW) reported by each ISO.
+    let background = [360.0, 410.0, 430.0];
+
+    let capper = BillCapper::default();
+
+    println!("== Generous budget: everything is served ==");
+    let generous = capper
+        .decide_hour(&system, offered, premium, &background, 50_000.0)
+        .expect("feasible hour");
+    print_decision(&system, &background, &generous);
+
+    println!("\n== Tight budget: ordinary traffic is throttled ==");
+    let tight = capper
+        .decide_hour(&system, offered, premium, &background, 2_300.0)
+        .expect("feasible hour");
+    print_decision(&system, &background, &tight);
+
+    println!("\n== Starvation budget: premium QoS overrides the budget ==");
+    let starved = capper
+        .decide_hour(&system, offered, premium, &background, 100.0)
+        .expect("feasible hour");
+    print_decision(&system, &background, &starved);
+}
+
+fn print_decision(
+    system: &DataCenterSystem,
+    background: &[f64],
+    decision: &billcap::core::HourDecision,
+) {
+    let outcome = match decision.outcome {
+        HourOutcome::WithinBudget => "within budget",
+        HourOutcome::Throttled => "ordinary traffic throttled",
+        HourOutcome::PremiumOverride => "premium override (budget violated)",
+    };
+    println!(
+        "outcome: {outcome}; premium served {:.0}M/h, ordinary served {:.0}M/h",
+        decision.premium_served / 1e6,
+        decision.ordinary_served / 1e6
+    );
+    let alloc = &decision.allocation;
+    for (i, site) in system.sites.iter().enumerate() {
+        println!(
+            "  {:<14} load {:>6.1}M req/h  {:>7} servers  {:>6.1} MW  region {:>6.1} MW  \
+             price ${:>5.2}/MWh  cost ${:.0}",
+            site.name,
+            alloc.lambda[i] / 1e6,
+            alloc.servers[i],
+            alloc.power_mw[i],
+            alloc.power_mw[i] + background[i],
+            alloc.price[i],
+            alloc.cost[i]
+        );
+    }
+    println!(
+        "  hour cost ${:.0} vs budget ${:.0}{}",
+        decision.cost(),
+        decision.budget,
+        if decision.violates_budget() {
+            "  (VIOLATED to protect premium QoS)"
+        } else {
+            ""
+        }
+    );
+}

@@ -1,0 +1,221 @@
+//! Cross-crate integration tests: the full pipeline from market substrate
+//! through the optimizer to realized billing, exercised through the
+//! public `billcap` facade.
+
+use billcap::core::{
+    evaluate_allocation, BillCapper, CostMinimizer, DataCenterSpec, DataCenterSystem,
+    HourOutcome, MinOnly, PriceAssumption, ThroughputMaximizer,
+};
+use billcap::market::{pjm_five_bus, OpfSolver, PricingPolicySet, StepPolicy};
+use billcap::power::{CoolingModel, DcPowerModel, FatTree, ServerModel, SwitchPower};
+use billcap::queueing::GgmModel;
+use billcap::workload::{Budgeter, HourlyTrace, TraceConfig, TraceGenerator};
+
+fn background() -> Vec<f64> {
+    vec![360.0, 410.0, 430.0]
+}
+
+/// A pricing policy derived from the five-bus OPF can drive the optimizer
+/// end to end: substrate -> policy -> MILP -> allocation -> billing.
+#[test]
+fn opf_derived_policies_drive_the_optimizer() {
+    let derived = billcap::market::fivebus::derive_policies(900.0, 25.0).unwrap();
+    let policies = PricingPolicySet {
+        policies: derived.into_iter().map(|(_, _, p)| p).collect(),
+    };
+    let sites = (0..3).map(DataCenterSpec::paper_dc).collect();
+    let system = DataCenterSystem::new(sites, policies).unwrap();
+    let d = background();
+    let alloc = CostMinimizer::default().solve(&system, 5e8, &d).unwrap();
+    assert!((alloc.total_lambda - 5e8).abs() < 1.0);
+    // Billing at the derived policies agrees with the MILP's own estimate.
+    let real = evaluate_allocation(&system, &alloc.lambda, &d);
+    let rel = (real.total_cost - alloc.total_cost).abs() / alloc.total_cost;
+    assert!(rel < 0.01, "relative billing gap {rel}");
+}
+
+/// The OPF substrate and the policy fit agree pointwise: re-dispatching at
+/// a load inside a fitted level reproduces the level's price.
+#[test]
+fn fitted_policy_matches_fresh_opf_solve() {
+    let (grid, buses) = pjm_five_bus();
+    let opf = OpfSolver::new(grid).unwrap();
+    let mut loads = vec![0.0; 5];
+    for b in [buses.b, buses.c, buses.d] {
+        loads[b.0] = 150.0; // 450 MW system load
+    }
+    let lmp_b = opf.lmp(&loads, buses.b).unwrap();
+    let derived = billcap::market::fivebus::derive_policies(900.0, 25.0).unwrap();
+    let policy_b = &derived[0].2;
+    assert!(
+        (policy_b.price_at(450.0) - lmp_b).abs() < 1.0,
+        "fitted {} vs fresh {}",
+        policy_b.price_at(450.0),
+        lmp_b
+    );
+}
+
+/// Premium traffic survives a month of hourly decisions with a budgeter in
+/// the loop, and the books balance: spend recorded equals costs incurred.
+#[test]
+fn budgeter_capper_loop_accounting() {
+    let system = DataCenterSystem::paper_system(1);
+    let history = TraceGenerator::new(TraceConfig {
+        mean_rate: 7e8,
+        seed: 11,
+        ..Default::default()
+    })
+    .generate(336);
+    let horizon = 72;
+    let workload = TraceGenerator::new(TraceConfig {
+        mean_rate: 7e8,
+        seed: 12,
+        ..Default::default()
+    })
+    .generate(horizon);
+    let mut budgeter = Budgeter::from_history(80_000.0, &history, horizon);
+    let capper = BillCapper::default();
+    let mut total = 0.0;
+    for t in 0..horizon {
+        let offered = workload.at(t);
+        let premium = 0.8 * offered;
+        let d = background();
+        let decision = capper
+            .decide_hour(&system, offered, premium, &d, budgeter.hourly_budget())
+            .unwrap();
+        assert_eq!(decision.premium_served, premium, "hour {t}");
+        let realized = evaluate_allocation(&system, &decision.allocation.lambda, &d);
+        budgeter.record_spend(realized.total_cost);
+        total += realized.total_cost;
+    }
+    assert!((budgeter.spent() - total).abs() < 1e-6);
+    assert_eq!(budgeter.hours_elapsed(), horizon);
+}
+
+/// The two-step structure is internally consistent: whenever step 1 fits
+/// the budget the capper reports WithinBudget, and a throttled hour's
+/// spend never exceeds the budget.
+#[test]
+fn capper_outcomes_are_consistent_with_costs() {
+    let system = DataCenterSystem::paper_system(1);
+    let d = background();
+    let offered = 8e8;
+    let premium = 0.8 * offered;
+    let min_cost = CostMinimizer::default()
+        .solve(&system, offered, &d)
+        .unwrap()
+        .total_cost;
+    for factor in [0.3, 0.6, 0.9, 1.1, 2.0] {
+        let budget = factor * min_cost;
+        let decision = BillCapper::default()
+            .decide_hour(&system, offered, premium, &d, budget)
+            .unwrap();
+        match decision.outcome {
+            HourOutcome::WithinBudget => {
+                assert!(decision.cost() <= budget * (1.0 + 1e-9));
+                assert!((decision.ordinary_served - 0.2 * offered).abs() < 1.0);
+            }
+            HourOutcome::Throttled => {
+                assert!(decision.cost() <= budget * (1.0 + 1e-6));
+                assert!(decision.ordinary_served < 0.2 * offered);
+            }
+            HourOutcome::PremiumOverride => {
+                assert!(decision.cost() > budget);
+                assert_eq!(decision.ordinary_served, 0.0);
+            }
+        }
+    }
+}
+
+/// Step 2 at exactly the minimized cost admits everything — the two
+/// problems agree at their boundary.
+#[test]
+fn step1_step2_boundary_agreement() {
+    let system = DataCenterSystem::paper_system(1);
+    let d = background();
+    let lambda = 6e8;
+    let step1 = CostMinimizer::default().solve(&system, lambda, &d).unwrap();
+    let step2 = ThroughputMaximizer::default()
+        .solve(&system, lambda, &d, step1.total_cost * (1.0 + 1e-9))
+        .unwrap();
+    assert!(
+        (step2.total_lambda - lambda).abs() / lambda < 1e-6,
+        "step2 admitted {} of {lambda}",
+        step2.total_lambda
+    );
+}
+
+/// A custom (non-paper) system exercises the same public API: one cheap
+/// coal region and one expensive congested region.
+#[test]
+fn custom_two_site_system() {
+    let cheap = DataCenterSpec {
+        name: "coal-belt".into(),
+        queue: GgmModel::new(600.0, 1.0, 1.0),
+        power: DcPowerModel::new(
+            ServerModel::at_operating_point(70.0, 1.0),
+            1.0,
+            FatTree::for_capacity(
+                200_000,
+                SwitchPower {
+                    edge_w: 80.0,
+                    aggregation_w: 80.0,
+                    core_w: 250.0,
+                },
+            ),
+            CoolingModel::new(2.2),
+        ),
+        response_target: 1.5 / 600.0,
+        power_cap_mw: 30.0,
+        max_servers: 200_000,
+    };
+    let mut pricey = cheap.clone();
+    pricey.name = "metro".into();
+    let policies = PricingPolicySet {
+        policies: vec![
+            StepPolicy::new(vec![300.0], vec![9.0, 11.0]),
+            StepPolicy::new(vec![300.0], vec![25.0, 60.0]),
+        ],
+    };
+    let system = DataCenterSystem::new(vec![cheap, pricey], policies).unwrap();
+    let d = vec![200.0, 280.0];
+    let lambda = 0.9 * system.sites[0].max_rate();
+    let alloc = CostMinimizer::default().solve(&system, lambda, &d).unwrap();
+    // Nearly everything should land on the cheap site.
+    assert!(
+        alloc.lambda[0] > 0.95 * lambda,
+        "cheap site got only {:?}",
+        alloc.lambda
+    );
+}
+
+/// The baselines and the capper agree when prices are flat (Policy 0) and
+/// the budget is generous: same bills within rounding.
+#[test]
+fn policy0_equalizes_strategies() {
+    let system = DataCenterSystem::paper_system(0);
+    let d = background();
+    let lambda = 6e8;
+    let capping = CostMinimizer::default().solve(&system, lambda, &d).unwrap();
+    let capping_real = evaluate_allocation(&system, &capping.lambda, &d);
+    for assumption in [PriceAssumption::Average, PriceAssumption::Lowest] {
+        let mo = MinOnly::new(assumption).solve(&system, lambda).unwrap();
+        let mo_real = evaluate_allocation(&system, &mo.lambda, &d);
+        let rel = (capping_real.total_cost - mo_real.total_cost).abs() / mo_real.total_cost;
+        assert!(rel < 0.01, "{assumption:?}: gap {rel}");
+    }
+}
+
+/// Trace CSV round-trips through the facade (workload substrate).
+#[test]
+fn trace_roundtrip_through_facade() {
+    let t = TraceGenerator::new(TraceConfig {
+        mean_rate: 123.0,
+        seed: 3,
+        ..Default::default()
+    })
+    .generate(100);
+    let csv = t.to_csv();
+    let back = HourlyTrace::from_csv(&csv).unwrap();
+    assert_eq!(t, back);
+}
