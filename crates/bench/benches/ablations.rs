@@ -5,128 +5,103 @@
 
 use billcap_bench::helpers;
 use billcap_core::{CostMinimizer, ThroughputMaximizer};
+use billcap_rt::Harness;
 use billcap_sim::experiments::{self, DEFAULT_SEED};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Once;
 
-fn bench_integrality(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_integrality");
+fn bench_integrality(h: &mut Harness) {
     let system = helpers::paper_system();
     let d = helpers::background();
-    group.bench_function("relaxed_servers", |b| {
-        let m = CostMinimizer::default();
-        b.iter(|| m.solve(&system, black_box(6e8), &d).unwrap().total_cost)
+    let relaxed = CostMinimizer::default();
+    h.bench("ablation_integrality/relaxed_servers", || {
+        relaxed
+            .solve(&system, black_box(6e8), &d)
+            .unwrap()
+            .total_cost
     });
-    group.bench_function("integral_servers", |b| {
-        let m = CostMinimizer {
-            integral_servers: true,
-            ..Default::default()
-        };
-        b.iter(|| m.solve(&system, black_box(6e8), &d).unwrap().total_cost)
+    let integral = CostMinimizer {
+        integral_servers: true,
+        ..Default::default()
+    };
+    h.bench("ablation_integrality/integral_servers", || {
+        integral
+            .solve(&system, black_box(6e8), &d)
+            .unwrap()
+            .total_cost
     });
-    group.finish();
 }
 
-fn bench_step2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_step2");
+fn bench_step2(h: &mut Harness) {
     let system = helpers::paper_system();
     let d = helpers::background();
     let min_cost = CostMinimizer::default()
         .solve(&system, 8e8, &d)
         .unwrap()
         .total_cost;
+    let m = ThroughputMaximizer::default();
     for frac in [0.5, 0.8, 0.95] {
-        group.bench_function(format!("budget_{frac}"), |b| {
-            let m = ThroughputMaximizer::default();
-            b.iter(|| {
-                m.solve(&system, black_box(8e8), &d, black_box(frac * min_cost))
-                    .unwrap()
-                    .total_lambda
-            })
+        h.bench(&format!("ablation_step2/budget_{frac}"), || {
+            m.solve(&system, black_box(8e8), &d, black_box(frac * min_cost))
+                .unwrap()
+                .total_lambda
         });
     }
-    group.finish();
 }
 
-fn bench_power_model_ablation(c: &mut Criterion) {
+fn bench_power_model_ablation(h: &mut Harness) {
     static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("ablation_power_model");
-    group.sample_size(10);
-    group.bench_function("month_full_vs_server_only", |b| {
-        b.iter(|| {
-            let a = experiments::ablation_power_model(DEFAULT_SEED).expect("ablation");
-            ONCE.call_once(|| println!("\n{}", a.render()));
-            black_box(a.penalty())
-        })
+    h.bench("ablation_power_model/month_full_vs_server_only", || {
+        let a = experiments::ablation_power_model(DEFAULT_SEED).expect("ablation");
+        ONCE.call_once(|| println!("\n{}", a.render()));
+        black_box(a.penalty())
     });
-    group.finish();
 }
 
-fn bench_budgeter_history(c: &mut Criterion) {
+fn bench_budgeter_history(h: &mut Harness) {
     static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("ablation_budgeter");
-    group.sample_size(10);
-    group.bench_function("history_lengths", |b| {
-        b.iter(|| {
-            let a = experiments::ablation_budget_history(DEFAULT_SEED).expect("ablation");
-            ONCE.call_once(|| println!("\n{}", a.render()));
-            black_box(a.rows.len())
-        })
+    h.bench("ablation_budgeter/history_lengths", || {
+        let a = experiments::ablation_budget_history(DEFAULT_SEED).expect("ablation");
+        ONCE.call_once(|| println!("\n{}", a.render()));
+        black_box(a.rows.len())
     });
-    group.finish();
 }
 
-fn bench_network_consolidation(c: &mut Criterion) {
+fn bench_network_consolidation(h: &mut Harness) {
     static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("ablation_network");
-    group.sample_size(10);
-    group.bench_function("consolidation_vs_always_on", |b| {
-        b.iter(|| {
-            let a = experiments::ablation_network_consolidation(DEFAULT_SEED).expect("ablation");
-            ONCE.call_once(|| println!("\n{}", a.render()));
-            black_box(a.penalty())
-        })
+    h.bench("ablation_network/consolidation_vs_always_on", || {
+        let a = experiments::ablation_network_consolidation(DEFAULT_SEED).expect("ablation");
+        ONCE.call_once(|| println!("\n{}", a.render()));
+        black_box(a.penalty())
     });
-    group.finish();
 }
 
-fn bench_weather(c: &mut Criterion) {
+fn bench_weather(h: &mut Harness) {
     static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("ablation_weather");
-    group.sample_size(10);
-    group.bench_function("aware_vs_blind", |b| {
-        b.iter(|| {
-            let a = experiments::ablation_weather(DEFAULT_SEED).expect("ablation");
-            ONCE.call_once(|| println!("\n{}", a.render()));
-            black_box(a.saving())
-        })
+    h.bench("ablation_weather/aware_vs_blind", || {
+        let a = experiments::ablation_weather(DEFAULT_SEED).expect("ablation");
+        ONCE.call_once(|| println!("\n{}", a.render()));
+        black_box(a.saving())
     });
-    group.finish();
 }
 
-fn bench_hierarchical(c: &mut Criterion) {
+fn bench_hierarchical(h: &mut Harness) {
     static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("ablation_hierarchical");
-    group.sample_size(10);
-    group.bench_function("regions_of_three", |b| {
-        b.iter(|| {
-            let h = experiments::hierarchical_comparison(1);
-            ONCE.call_once(|| println!("\n{}", h.render()));
-            black_box(h.rows.len())
-        })
+    h.bench("ablation_hierarchical/regions_of_three", || {
+        let hc = experiments::hierarchical_comparison(1);
+        ONCE.call_once(|| println!("\n{}", hc.render()));
+        black_box(hc.rows.len())
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_integrality,
-    bench_step2,
-    bench_power_model_ablation,
-    bench_budgeter_history,
-    bench_network_consolidation,
-    bench_weather,
-    bench_hierarchical
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_integrality(&mut h);
+    bench_step2(&mut h);
+    bench_power_model_ablation(&mut h);
+    bench_budgeter_history(&mut h);
+    bench_network_consolidation(&mut h);
+    bench_weather(&mut h);
+    bench_hierarchical(&mut h);
+    h.finish();
+}

@@ -3,113 +3,96 @@
 use billcap_bench::helpers;
 use billcap_core::evaluate_allocation;
 use billcap_market::{fivebus, pjm_five_bus, OpfSolver, StepPolicy};
-use billcap_queueing::{erlang_c, GgmModel};
+use billcap_queueing::{erlang_c, GgmModel, QueueSim};
+use billcap_rt::Harness;
 use billcap_workload::{Budgeter, TraceConfig, TraceGenerator};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_queueing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queueing");
+fn bench_queueing(h: &mut Harness) {
     let model = GgmModel::new(500.0, 1.0, 1.0);
-    group.bench_function("min_servers", |b| {
-        b.iter(|| model.min_servers(black_box(1.23e8), black_box(1.5 / 500.0)).unwrap())
+    h.bench("queueing/min_servers", || {
+        model
+            .min_servers(black_box(1.23e8), black_box(1.5 / 500.0))
+            .unwrap()
     });
-    group.bench_function("erlang_c_300k_servers", |b| {
-        b.iter(|| erlang_c(black_box(300_000), black_box(295_000.0)))
+    h.bench("queueing/erlang_c_300k_servers", || {
+        erlang_c(black_box(300_000), black_box(295_000.0))
     });
-    group.finish();
 }
 
-fn bench_policy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy");
+fn bench_policy(h: &mut Harness) {
     let p = StepPolicy::paper_policy(0);
-    group.bench_function("price_at", |b| {
-        b.iter(|| p.price_at(black_box(472.5)))
+    h.bench("policy/price_at", || p.price_at(black_box(472.5)));
+    h.bench("policy/scale_increments", || {
+        p.scale_increments(black_box(3.0), black_box(200.0))
     });
-    group.bench_function("scale_increments", |b| {
-        b.iter(|| p.scale_increments(black_box(3.0), black_box(200.0)))
-    });
-    group.finish();
 }
 
-fn bench_opf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("opf");
+fn bench_opf(h: &mut Harness) {
     let (grid, buses) = pjm_five_bus();
     let opf = OpfSolver::new(grid).unwrap();
     let mut loads = vec![0.0; 5];
     for b in [buses.b, buses.c, buses.d] {
         loads[b.0] = 250.0;
     }
-    group.bench_function("dispatch_five_bus", |b| {
-        b.iter(|| opf.dispatch(black_box(&loads)).unwrap().total_cost)
+    h.bench("opf/dispatch_five_bus", || {
+        opf.dispatch(black_box(&loads)).unwrap().total_cost
     });
-    group.bench_function("lmp_five_bus", |b| {
-        b.iter(|| opf.lmp(black_box(&loads), buses.b).unwrap())
+    h.bench("opf/lmp_five_bus", || {
+        opf.lmp(black_box(&loads), buses.b).unwrap()
     });
-    group.sample_size(10);
-    group.bench_function("derive_policies_sweep", |b| {
-        b.iter(|| fivebus::derive_policies(black_box(900.0), black_box(25.0)).unwrap().len())
+    h.bench("opf/derive_policies_sweep", || {
+        fivebus::derive_policies(black_box(900.0), black_box(25.0))
+            .unwrap()
+            .len()
     });
-    group.finish();
 }
 
-fn bench_workload(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload");
-    group.bench_function("generate_two_months", |b| {
-        let g = TraceGenerator::new(TraceConfig::wikipedia_like(7e8, 42));
-        b.iter(|| g.generate_two_months().1.total())
+fn bench_workload(h: &mut Harness) {
+    let g = TraceGenerator::new(TraceConfig::wikipedia_like(7e8, 42));
+    h.bench("workload/generate_two_months", || {
+        g.generate_two_months().1.total()
     });
-    group.bench_function("budgeter_month", |b| {
-        let history = TraceGenerator::new(TraceConfig::wikipedia_like(7e8, 42)).generate(744);
-        b.iter(|| {
-            let mut budgeter = Budgeter::from_history(1.5e6, &history, 720);
-            let mut total = 0.0;
-            for _ in 0..720 {
-                let h = budgeter.hourly_budget();
-                total += h;
-                budgeter.record_spend(h * 0.9);
-            }
-            black_box(total)
-        })
+    let history = TraceGenerator::new(TraceConfig::wikipedia_like(7e8, 42)).generate(744);
+    h.bench("workload/budgeter_month", || {
+        let mut budgeter = Budgeter::from_history(1.5e6, &history, 720);
+        let mut total = 0.0;
+        for _ in 0..720 {
+            let hb = budgeter.hourly_budget();
+            total += hb;
+            budgeter.record_spend(hb * 0.9);
+        }
+        black_box(total)
     });
-    group.finish();
 }
 
-fn bench_des(c: &mut Criterion) {
-    use billcap_queueing::QueueSim;
-    let mut group = c.benchmark_group("queueing_des");
-    group.sample_size(20);
-    group.bench_function("ggm_100k_requests", |b| {
-        let sim = QueueSim::ggm(20, 18.0, 1.0, 1.0, 1.0, 7);
-        b.iter(|| sim.run(100_000).mean_response)
+fn bench_des(h: &mut Harness) {
+    let sim = QueueSim::ggm(20, 18.0, 1.0, 1.0, 1.0, 7);
+    h.bench("queueing_des/ggm_100k_requests", || {
+        sim.run(100_000).mean_response
     });
-    group.finish();
 }
 
-fn bench_evaluation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("billing");
+fn bench_evaluation(h: &mut Harness) {
     let system = helpers::paper_system();
     let d = helpers::background();
-    group.bench_function("evaluate_allocation", |b| {
-        b.iter(|| {
-            evaluate_allocation(
-                black_box(&system),
-                black_box(&[2e8, 1e8, 3e8]),
-                black_box(&d),
-            )
-            .total_cost
-        })
+    h.bench("billing/evaluate_allocation", || {
+        evaluate_allocation(
+            black_box(&system),
+            black_box(&[2e8, 1e8, 3e8]),
+            black_box(&d),
+        )
+        .total_cost
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_queueing,
-    bench_policy,
-    bench_opf,
-    bench_workload,
-    bench_des,
-    bench_evaluation
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_queueing(&mut h);
+    bench_policy(&mut h);
+    bench_opf(&mut h);
+    bench_workload(&mut h);
+    bench_des(&mut h);
+    bench_evaluation(&mut h);
+    h.finish();
+}

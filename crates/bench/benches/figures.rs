@@ -1,10 +1,10 @@
 //! One bench per evaluation figure: each iteration regenerates the
 //! figure's data with the same experiment runners used by the
 //! `paper_experiments` binary. The first iteration of each bench prints
-//! the experiment's summary so `cargo bench` doubles as a results run.
+//! the experiment's summary so a bench run doubles as a results run.
 
+use billcap_rt::Harness;
 use billcap_sim::experiments::{self, DEFAULT_SEED};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Once;
 
@@ -12,112 +12,57 @@ fn print_once(once: &'static Once, text: String) {
     once.call_once(|| println!("\n{text}"));
 }
 
-fn bench_fig1(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig1_pricing_policies", |b| {
-        b.iter(|| {
-            let f = experiments::fig1();
-            print_once(&ONCE, f.render());
-            black_box(f.policies.len())
-        })
-    });
-    group.finish();
-}
+fn main() {
+    let mut h = Harness::from_args();
 
-fn bench_fig3(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig3_hourly_cost", |b| {
-        b.iter(|| {
-            let f = experiments::fig3(DEFAULT_SEED).expect("fig3");
-            print_once(&ONCE, f.render());
-            black_box(f.capping.total_cost())
-        })
+    static FIG1: Once = Once::new();
+    h.bench("figures/fig1_pricing_policies", || {
+        let f = experiments::fig1();
+        print_once(&FIG1, f.render());
+        black_box(f.policies.len())
     });
-    group.finish();
-}
 
-fn bench_fig4(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig4_policies", |b| {
-        b.iter(|| {
-            let f = experiments::fig4(DEFAULT_SEED).expect("fig4");
-            print_once(&ONCE, f.render());
-            black_box(f.bills[3][2])
-        })
+    static FIG3: Once = Once::new();
+    h.bench("figures/fig3_hourly_cost", || {
+        let f = experiments::fig3(DEFAULT_SEED).expect("fig3");
+        print_once(&FIG3, f.render());
+        black_box(f.capping.total_cost())
     });
-    group.finish();
-}
 
-fn bench_fig5_6(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig5_6_budget_2_5m", |b| {
-        b.iter(|| {
-            let f = experiments::fig5_6(DEFAULT_SEED).expect("fig5_6");
-            print_once(&ONCE, f.render());
-            black_box(f.report.total_cost())
-        })
+    static FIG4: Once = Once::new();
+    h.bench("figures/fig4_policies", || {
+        let f = experiments::fig4(DEFAULT_SEED).expect("fig4");
+        print_once(&FIG4, f.render());
+        black_box(f.bills[3][2])
     });
-    group.finish();
-}
 
-fn bench_fig7_8(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig7_8_budget_1_5m", |b| {
-        b.iter(|| {
-            let f = experiments::fig7_8(DEFAULT_SEED).expect("fig7_8");
-            print_once(&ONCE, f.render());
-            black_box(f.report.total_cost())
-        })
+    static FIG5_6: Once = Once::new();
+    h.bench("figures/fig5_6_budget_2_5m", || {
+        let f = experiments::fig5_6(DEFAULT_SEED).expect("fig5_6");
+        print_once(&FIG5_6, f.render());
+        black_box(f.report.total_cost())
     });
-    group.finish();
-}
 
-fn bench_fig9(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig9_comparison", |b| {
-        b.iter(|| {
-            let f = experiments::fig9(DEFAULT_SEED).expect("fig9");
-            print_once(&ONCE, f.render());
-            black_box(f.rows[0].0)
-        })
+    static FIG7_8: Once = Once::new();
+    h.bench("figures/fig7_8_budget_1_5m", || {
+        let f = experiments::fig7_8(DEFAULT_SEED).expect("fig7_8");
+        print_once(&FIG7_8, f.render());
+        black_box(f.report.total_cost())
     });
-    group.finish();
-}
 
-fn bench_fig10(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig10_budget_sweep", |b| {
-        b.iter(|| {
-            let f = experiments::fig10(DEFAULT_SEED).expect("fig10");
-            print_once(&ONCE, f.render());
-            black_box(f.rows.len())
-        })
+    static FIG9: Once = Once::new();
+    h.bench("figures/fig9_comparison", || {
+        let f = experiments::fig9(DEFAULT_SEED).expect("fig9");
+        print_once(&FIG9, f.render());
+        black_box(f.rows[0].0)
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_fig1,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5_6,
-    bench_fig7_8,
-    bench_fig9,
-    bench_fig10
-);
-criterion_main!(benches);
+    static FIG10: Once = Once::new();
+    h.bench("figures/fig10_budget_sweep", || {
+        let f = experiments::fig10(DEFAULT_SEED).expect("fig10");
+        print_once(&FIG10, f.render());
+        black_box(f.rows.len())
+    });
+
+    h.finish();
+}

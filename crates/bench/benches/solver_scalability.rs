@@ -1,94 +1,136 @@
 //! Solver scalability (paper Section IV-C): step-1 MILP solve time versus
-//! data-center count at 5 price levels and 1e8 requests. The paper reports
-//! lp_solve finishing within ~2 ms for 13 sites; this bench records the
-//! equivalent numbers for the in-tree solver.
+//! data-center count at 5 price levels and 1e8 requests, plus the
+//! parallel branch-and-bound speedup on a 10-site × 10-level instance.
+//! The paper reports lp_solve finishing within ~2 ms for 13 sites; this
+//! bench records the equivalent numbers for the in-tree solver.
 
-use billcap_core::CostMinimizer;
+use billcap_core::{CostMinimizer, DataCenterSystem};
 use billcap_milp::{LpSolver, MipSolver, NodeSelection};
+use billcap_rt::Harness;
 use billcap_sim::experiments::synthetic_system;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn backgrounds(n: usize) -> Vec<f64> {
     (0..n).map(|i| 330.0 + 40.0 * (i % 3) as f64).collect()
 }
 
-fn bench_step1_by_sites(c: &mut Criterion) {
-    let mut group = c.benchmark_group("step1_milp_by_sites");
+fn bench_step1_by_sites(h: &mut Harness) {
     for n in [3usize, 5, 8, 13] {
         let system = synthetic_system(n);
         let d = backgrounds(n);
         let minimizer = CostMinimizer::default();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let alloc = minimizer
-                    .solve(black_box(&system), black_box(1e8), black_box(&d))
-                    .expect("feasible");
-                black_box(alloc.total_cost)
-            })
+        h.bench(&format!("step1_milp_by_sites/{n}"), || {
+            let alloc = minimizer
+                .solve(black_box(&system), black_box(1e8), black_box(&d))
+                .expect("feasible");
+            black_box(alloc.total_cost)
         });
     }
-    group.finish();
 }
 
-fn bench_step1_by_load(c: &mut Criterion) {
-    let mut group = c.benchmark_group("step1_milp_by_load");
+fn bench_step1_by_load(h: &mut Harness) {
     let system = synthetic_system(3);
     let d = backgrounds(3);
     let minimizer = CostMinimizer::default();
     for lambda in [1e7, 1e8, 5e8, 1.2e9] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{lambda:.0e}")),
-            &lambda,
-            |b, &lambda| {
-                b.iter(|| {
-                    let alloc = minimizer
-                        .solve(black_box(&system), black_box(lambda), black_box(&d))
-                        .expect("feasible");
-                    black_box(alloc.total_cost)
-                })
-            },
-        );
+        h.bench(&format!("step1_milp_by_load/{lambda:.0e}"), || {
+            let alloc = minimizer
+                .solve(black_box(&system), black_box(lambda), black_box(&d))
+                .expect("feasible");
+            black_box(alloc.total_cost)
+        });
     }
-    group.finish();
 }
 
-fn bench_solver_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_variants");
+fn bench_solver_variants(h: &mut Harness) {
     let system = synthetic_system(3);
     let d = backgrounds(3);
 
-    group.bench_function("best_bound", |b| {
-        let minimizer = CostMinimizer::default();
-        b.iter(|| minimizer.solve(&system, 5e8, &d).unwrap().total_cost)
+    let minimizer = CostMinimizer::default();
+    h.bench("solver_variants/best_bound", || {
+        minimizer.solve(&system, 5e8, &d).unwrap().total_cost
     });
-    group.bench_function("depth_first", |b| {
-        let minimizer = CostMinimizer {
-            solver: MipSolver {
-                node_selection: NodeSelection::DepthFirst,
-                ..Default::default()
-            },
+    let dfs = CostMinimizer {
+        solver: MipSolver {
+            node_selection: NodeSelection::DepthFirst,
             ..Default::default()
-        };
-        b.iter(|| minimizer.solve(&system, 5e8, &d).unwrap().total_cost)
+        },
+        ..Default::default()
+    };
+    h.bench("solver_variants/depth_first", || {
+        dfs.solve(&system, 5e8, &d).unwrap().total_cost
     });
-    group.bench_function("integral_servers", |b| {
-        let minimizer = CostMinimizer {
-            integral_servers: true,
-            ..Default::default()
-        };
-        b.iter(|| minimizer.solve(&system, 5e8, &d).unwrap().total_cost)
+    let integral = CostMinimizer {
+        integral_servers: true,
+        ..Default::default()
+    };
+    h.bench("solver_variants/integral_servers", || {
+        integral.solve(&system, 5e8, &d).unwrap().total_cost
     });
-    group.finish();
 }
 
-fn bench_raw_simplex(c: &mut Criterion) {
+/// Parallel branch-and-bound on a hard 10-site × 10-level instance: the
+/// headline scalability claim. Thread counts share one instance; the
+/// harness reports per-count medians and this function prints the
+/// resulting 8-thread speedup. The objectives are asserted
+/// bitwise-identical across thread counts — the determinism contract.
+fn bench_parallel_branch_and_bound(h: &mut Harness) {
+    let sys = DataCenterSystem::synthetic(10, 10);
+    let background: Vec<f64> = (0..sys.len()).map(|i| 5.0 + 3.0 * i as f64).collect();
+    let lambda = 0.45 * sys.total_capacity();
+
+    let minimizer = |threads: usize| CostMinimizer {
+        solver: MipSolver {
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let reference = minimizer(1).solve(&sys, lambda, &background).unwrap();
+
+    let before = h.results().len();
+    for threads in [1usize, 2, 4, 8] {
+        let m = minimizer(threads);
+        h.bench(&format!("parallel_bnb_10x10/threads_{threads}"), || {
+            let alloc = m
+                .solve(black_box(&sys), black_box(lambda), black_box(&background))
+                .expect("feasible");
+            assert_eq!(
+                alloc.total_cost.to_bits(),
+                reference.total_cost.to_bits(),
+                "objective must not depend on the thread count"
+            );
+            black_box(alloc.total_cost)
+        });
+    }
+    let measured = &h.results()[before..];
+    if measured.len() == 4 {
+        let t1 = measured[0].median_ns;
+        let t8 = measured[3].median_ns;
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        println!(
+            "parallel_bnb_10x10: 8-thread speedup {:.2}x (1 thread {:.1} ms, 8 threads {:.1} ms, {cores} cores available)",
+            t1 / t8,
+            t1 / 1e6,
+            t8 / 1e6,
+        );
+        if cores < 8 {
+            println!(
+                "parallel_bnb_10x10: note: only {cores} hardware threads; speedup needs >= 8 cores"
+            );
+        }
+    }
+}
+
+fn bench_raw_simplex(h: &mut Harness) {
     // A dense LP of the size a 13-site relaxation produces, to separate
     // simplex cost from branch-and-bound overhead.
     use billcap_milp::{ConstraintOp, Model, Sense};
     let mut m = Model::new("raw", Sense::Minimize);
     let n = 60;
-    let vars: Vec<_> = (0..n).map(|i| m.add_cont(format!("x{i}"), 0.0, 100.0)).collect();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_cont(format!("x{i}"), 0.0, 100.0))
+        .collect();
     for r in 0..40 {
         let terms: Vec<_> = vars
             .iter()
@@ -105,16 +147,17 @@ fn bench_raw_simplex(c: &mut Criterion) {
         0.0,
     );
     let solver = LpSolver::default();
-    c.bench_function("raw_simplex_60x40", |b| {
-        b.iter(|| solver.solve(black_box(&m)).unwrap().objective)
+    h.bench("raw_simplex_60x40", || {
+        solver.solve(black_box(&m)).unwrap().objective
     });
 }
 
-criterion_group!(
-    benches,
-    bench_step1_by_sites,
-    bench_step1_by_load,
-    bench_solver_variants,
-    bench_raw_simplex
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_step1_by_sites(&mut h);
+    bench_step1_by_load(&mut h);
+    bench_solver_variants(&mut h);
+    bench_parallel_branch_and_bound(&mut h);
+    bench_raw_simplex(&mut h);
+    h.finish();
+}

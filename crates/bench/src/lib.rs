@@ -1,11 +1,18 @@
 //! # billcap-bench
 //!
-//! Criterion benchmark harness for the `billcap` reproduction. Each bench
-//! target regenerates part of the paper's evaluation:
+//! Benchmark targets for the `billcap` reproduction, built on the
+//! in-repo [`billcap_rt::Harness`] (no external benchmarking framework;
+//! the workspace builds fully offline). Each target is a
+//! `harness = false` binary that registers closures and prints a
+//! median/min summary table. Each one regenerates part of the paper's
+//! evaluation:
 //!
 //! * `solver_scalability` — the Section IV-C claim: step-1 MILP solve time
 //!   versus network size (paper: ≤ ~2 ms at 13 sites, 5 price levels,
-//!   10⁸ requests), plus pure-LP and integral-server variants.
+//!   10⁸ requests), pure-LP and integral-server variants, and the
+//!   parallel branch-and-bound speedup (1/2/4/8 workers on a 10-site ×
+//!   10-level step-pricing instance, with bitwise-identical objectives
+//!   asserted across thread counts).
 //! * `figures` — wall-clock cost of regenerating every evaluation figure
 //!   (Figures 1, 3, 4, 5/6, 7/8, 9, 10); each iteration runs the same
 //!   experiment code as the `paper_experiments` binary and the
@@ -16,9 +23,11 @@
 //! * `ablations` — design-choice costs: integral vs. relaxed server
 //!   counts, best-bound vs. depth-first search, Dantzig vs. Bland pricing.
 //!
-//! Run everything with `cargo bench --workspace`. The figure benches also
-//! print their experiment summaries once per process so a bench run
-//! doubles as a results regeneration.
+//! Run everything with `cargo bench --workspace`; pass a substring to
+//! filter bench names (`cargo bench --bench solver_scalability --
+//! parallel`), and set `BILLCAP_BENCH_FAST=1` for a quick smoke run.
+//! The figure benches also print their experiment summaries once per
+//! process so a bench run doubles as a results regeneration.
 
 /// Shared helpers for the bench targets.
 pub mod helpers {

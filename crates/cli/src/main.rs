@@ -109,7 +109,13 @@ fn decide_hour(args: &Args) -> Result<(), ArgError> {
         )));
     }
     let decision = BillCapper::default()
-        .decide_hour(&system, offered, premium_frac * offered, &background, budget)
+        .decide_hour(
+            &system,
+            offered,
+            premium_frac * offered,
+            &background,
+            budget,
+        )
         .map_err(|e| ArgError(e.to_string()))?;
     let outcome = match decision.outcome {
         HourOutcome::WithinBudget => "within budget",
@@ -155,8 +161,7 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
         None => None,
     };
     let scenario = Scenario::paper_default(policy_arg(args)?, seed);
-    let report =
-        run_month(&scenario, strategy, budget).map_err(|e| ArgError(e.to_string()))?;
+    let report = run_month(&scenario, strategy, budget).map_err(|e| ArgError(e.to_string()))?;
     if args.has("quiet") {
         // Machine-friendly single line: cost, premium tput, ordinary tput.
         println!(
@@ -247,7 +252,9 @@ fn solve_lp(args: &Args) -> Result<(), String> {
         .ok_or_else(|| "solve-lp needs a file path".to_string())?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
     let model = parse_lp(&text).map_err(|e| e.to_string())?;
-    let sol = MipSolver::default().solve(&model).map_err(|e| e.to_string())?;
+    let sol = MipSolver::default()
+        .solve(&model)
+        .map_err(|e| e.to_string())?;
     println!("status: {:?}", sol.status);
     println!("objective: {}", sol.objective);
     for (v, value) in model.variables().iter().zip(&sol.values) {
@@ -279,24 +286,15 @@ mod tests {
 
     #[test]
     fn decide_hour_happy_path() {
-        assert!(run_str(
-            "decide-hour --offered 6e8 --premium-frac 0.8 --budget 1e9"
-        )
-        .is_ok());
+        assert!(run_str("decide-hour --offered 6e8 --premium-frac 0.8 --budget 1e9").is_ok());
     }
 
     #[test]
     fn decide_hour_validation() {
         assert!(run_str("decide-hour --budget 1").is_err()); // missing --offered
         assert!(run_str("decide-hour --offered 1e8 --budget 1 --premium-frac 2.0").is_err());
-        assert!(run_str(
-            "decide-hour --offered 1e8 --budget 1e9 --background 1,2"
-        )
-        .is_err()); // wrong arity
-        assert!(run_str(
-            "decide-hour --offered 1e8 --budget 1e9 --policy 7"
-        )
-        .is_err());
+        assert!(run_str("decide-hour --offered 1e8 --budget 1e9 --background 1,2").is_err()); // wrong arity
+        assert!(run_str("decide-hour --offered 1e8 --budget 1e9 --policy 7").is_err());
     }
 
     #[test]

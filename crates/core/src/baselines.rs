@@ -96,8 +96,7 @@ impl MinOnly {
                 .queue
                 .qos_headroom(site.response_target)
                 .expect("validated spec");
-            believed_base +=
-                price * site.power.server_only_watts_per_server() * headroom / 1e6;
+            believed_base += price * site.power.server_only_watts_per_server() * headroom / 1e6;
             lam_vars.push(lam);
         }
         m.add_constraint(
@@ -175,7 +174,9 @@ mod tests {
         // prediction (it ignores cooling, networking, and price steps).
         let sys = DataCenterSystem::paper_system(1);
         let lambda = 6e8;
-        let mo = MinOnly::new(PriceAssumption::Lowest).solve(&sys, lambda).unwrap();
+        let mo = MinOnly::new(PriceAssumption::Lowest)
+            .solve(&sys, lambda)
+            .unwrap();
         let real = evaluate_allocation(&sys, &mo.lambda, &background());
         assert!(
             real.total_cost > mo.believed_cost,
@@ -188,7 +189,9 @@ mod tests {
     #[test]
     fn low_assumption_prefers_cheapest_min_price_site() {
         let sys = DataCenterSystem::paper_system(1);
-        let mo = MinOnly::new(PriceAssumption::Lowest).solve(&sys, 1e8).unwrap();
+        let mo = MinOnly::new(PriceAssumption::Lowest)
+            .solve(&sys, 1e8)
+            .unwrap();
         // Unit believed cost per request = min_price * sp/mu; find argmin.
         let unit = |i: usize| {
             sys.policy(i).min_price() * sys.sites[i].power.server_only_watts_per_server()

@@ -166,7 +166,9 @@ impl BillCapper {
         }
 
         // Premium override: serve premium at minimum cost, budget be damned.
-        let step3 = self.minimizer.solve(system, premium_offered, background_mw)?;
+        let step3 = self
+            .minimizer
+            .solve(system, premium_offered, background_mw)?;
         Ok(HourDecision {
             outcome: HourOutcome::PremiumOverride,
             offered,
@@ -246,9 +248,7 @@ mod tests {
         let sys = DataCenterSystem::paper_system(1);
         let d = background();
         for budget in [1.0, 500.0, 2000.0, 1e9] {
-            let dec = capper()
-                .decide_hour(&sys, 7e8, 5.6e8, &d, budget)
-                .unwrap();
+            let dec = capper().decide_hour(&sys, 7e8, 5.6e8, &d, budget).unwrap();
             assert_eq!(dec.premium_served, 5.6e8, "budget {budget}");
         }
     }

@@ -90,18 +90,25 @@ impl HeteroDataCenter {
 
     /// G/G/m model for one class.
     fn class_queue(&self, i: usize) -> GgmModel {
-        GgmModel::new(self.classes[i].service_rate, self.variability, self.variability)
+        GgmModel::new(
+            self.classes[i].service_rate,
+            self.variability,
+            self.variability,
+        )
     }
 
     /// Maximum rate a class can carry within the QoS target.
     pub fn class_capacity(&self, i: usize) -> f64 {
         let q = self.class_queue(i);
-        q.max_arrival_rate(self.classes[i].count, self.response_target).unwrap_or(0.0)
+        q.max_arrival_rate(self.classes[i].count, self.response_target)
+            .unwrap_or(0.0)
     }
 
     /// Total rate the site can carry.
     pub fn capacity(&self) -> f64 {
-        (0..self.classes.len()).map(|i| self.class_capacity(i)).sum()
+        (0..self.classes.len())
+            .map(|i| self.class_capacity(i))
+            .sum()
     }
 
     /// Greedy efficiency-first activation: fill the most efficient class to

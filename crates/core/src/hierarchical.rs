@@ -129,7 +129,10 @@ impl HierarchicalMinimizer {
             .iter()
             .map(|r| r.iter().map(|&i| background_mw[i]).collect())
             .collect();
-        let capacities: Vec<f64> = subsystems.iter().map(DataCenterSystem::total_capacity).collect();
+        let capacities: Vec<f64> = subsystems
+            .iter()
+            .map(DataCenterSystem::total_capacity)
+            .collect();
 
         // Coordinator: water-fill `chunks` equal slices of the workload.
         let chunk = lambda / self.chunks.max(1) as f64;

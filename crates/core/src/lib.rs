@@ -43,6 +43,6 @@ pub use error::CoreError;
 pub use evaluate::{evaluate_allocation, RealizedCost};
 pub use hierarchical::HierarchicalMinimizer;
 pub use maximize::ThroughputMaximizer;
-pub use priority::{ClassDecision, PriorityClass};
 pub use minimize::{Allocation, CostMinimizer};
+pub use priority::{ClassDecision, PriorityClass};
 pub use spec::{DataCenterSpec, DataCenterSystem};

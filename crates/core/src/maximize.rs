@@ -13,13 +13,11 @@ use crate::spec::DataCenterSystem;
 use billcap_milp::{ConstraintOp, MipSolver, Model, Sense, VarId};
 
 /// The Step-2 optimizer.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ThroughputMaximizer {
     pub solver: MipSolver,
     pub integral_servers: bool,
 }
-
 
 impl ThroughputMaximizer {
     /// Maximizes admitted throughput under `budget` ($/hour) for offered

@@ -167,17 +167,11 @@ pub(crate) fn build_piecewise_core(
             1.0,
         );
         // Power identity: sum_k q_ik - (a * lam_i [or wps*n_i]) = b.
-        let mut terms: Vec<(VarId, f64)> =
-            levels_i.iter().map(|&(_, _, q, _)| (q, 1.0)).collect();
+        let mut terms: Vec<(VarId, f64)> = levels_i.iter().map(|&(_, _, q, _)| (q, 1.0)).collect();
         for &(v, c) in &power_terms {
             terms.push((v, -c));
         }
-        m.add_constraint(
-            format!("power_{i}"),
-            terms,
-            ConstraintOp::Eq,
-            power_const,
-        );
+        m.add_constraint(format!("power_{i}"), terms, ConstraintOp::Eq, power_const);
         // Site power cap (each q is individually bounded by cap via its
         // level constraint; this row makes the cap explicit and guards the
         // integral-server mode where n_i drives power).
@@ -248,15 +242,13 @@ pub(crate) fn extract_allocation(
 }
 
 /// The Step-1 optimizer.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CostMinimizer {
     pub solver: MipSolver,
     /// Model server counts as integers inside the MILP (ablation mode;
     /// the default relaxes them and lets the local optimizer round up).
     pub integral_servers: bool,
 }
-
 
 impl CostMinimizer {
     /// Minimizes the hour's electricity cost for total workload `lambda`

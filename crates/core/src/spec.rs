@@ -58,8 +58,7 @@ impl DataCenterSpec {
             .qos_headroom(self.response_target)
             .expect("validated spec");
         // Server-inventory bound.
-        let by_servers =
-            (self.max_servers as f64 - headroom).max(0.0) * self.queue.service_rate;
+        let by_servers = (self.max_servers as f64 - headroom).max(0.0) * self.queue.service_rate;
         // Power-cap bound: a_i * lambda + b_i <= Ps_i.
         let a = self.mw_per_request();
         let by_power = ((self.power_cap_mw - self.base_power_mw()) / a).max(0.0);
@@ -184,6 +183,56 @@ impl DataCenterSystem {
         Self::new(sites, PricingPolicySet::by_index(policy, 3)).expect("paper system is valid")
     }
 
+    /// A scale-up synthetic system for solver benchmarks and
+    /// parallel-determinism tests: `n_sites` sites (cycling the paper's
+    /// three hardware profiles) under step policies with `levels` price
+    /// levels each.
+    ///
+    /// The policies are deliberately adversarial for branch-and-bound:
+    /// prices zigzag with load, so cheap levels exist at high loads and
+    /// the LP relaxation blends levels fractionally, forcing deep
+    /// branching. Every site's prices carry a distinct multiplicative
+    /// perturbation, which breaks site symmetry and makes the optimum
+    /// unique and well separated — the precondition under which parallel
+    /// and sequential [`MipSolver`](billcap_milp::MipSolver) searches
+    /// return bitwise-identical objectives.
+    pub fn synthetic(n_sites: usize, levels: usize) -> Self {
+        assert!(n_sites >= 1, "need at least one site");
+        assert!(levels >= 2, "need at least two price levels");
+        let sites: Vec<DataCenterSpec> = (0..n_sites)
+            .map(|i| {
+                let mut s = DataCenterSpec::paper_dc(i % 3);
+                s.name = format!("syn{i}-{}", s.name);
+                s
+            })
+            .collect();
+        let policies = PricingPolicySet {
+            policies: sites
+                .iter()
+                .enumerate()
+                .map(|(i, site)| {
+                    // Spread the breakpoints across the site's reachable
+                    // load band so (almost) every level is in play.
+                    let step = (site.power_cap_mw + 20.0) / levels as f64;
+                    let breakpoints: Vec<f64> = (1..levels).map(|k| k as f64 * step).collect();
+                    let perturb = 1.0 + 0.01 * (i as f64 + 1.0);
+                    let prices: Vec<f64> = (0..levels)
+                        .map(|k| {
+                            let zig = if k % 2 == 0 {
+                                10.0 + 2.0 * k as f64
+                            } else {
+                                30.0 - 1.5 * k as f64
+                            };
+                            zig.max(1.0) * perturb
+                        })
+                        .collect();
+                    StepPolicy::new(breakpoints, prices)
+                })
+                .collect(),
+        };
+        Self::new(sites, policies).expect("synthetic system is valid")
+    }
+
     /// Number of sites.
     pub fn len(&self) -> usize {
         self.sites.len()
@@ -278,7 +327,11 @@ mod tests {
     fn paper_system_has_three_sites_and_capacity() {
         let sys = DataCenterSystem::paper_system(1);
         assert_eq!(sys.len(), 3);
-        assert!(sys.total_capacity() > 1e9, "capacity {}", sys.total_capacity());
+        assert!(
+            sys.total_capacity() > 1e9,
+            "capacity {}",
+            sys.total_capacity()
+        );
     }
 
     #[test]
@@ -287,6 +340,27 @@ mod tests {
         let n1 = dc.servers_for_rate(1e7);
         let n2 = dc.servers_for_rate(5e7);
         assert!(n2 > n1);
+    }
+
+    #[test]
+    fn synthetic_system_scales_sites_and_levels() {
+        let sys = DataCenterSystem::synthetic(10, 12);
+        assert_eq!(sys.len(), 10);
+        for i in 0..10 {
+            assert_eq!(sys.policy(i).num_levels(), 12);
+        }
+        // Per-site perturbation breaks price symmetry between sites that
+        // share a hardware profile.
+        assert_ne!(sys.policy(0).avg_price(), sys.policy(3).avg_price());
+        // Breakpoints stay within reach of the site's power band.
+        for (i, site) in sys.sites.iter().enumerate() {
+            let last_lo = sys
+                .policy(i)
+                .levels()
+                .map(|(lo, _, _)| lo)
+                .fold(0.0f64, f64::max);
+            assert!(last_lo < site.power_cap_mw + 20.0 + 1e-9);
+        }
     }
 
     #[test]

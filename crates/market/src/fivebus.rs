@@ -28,11 +28,8 @@ pub enum FiveBusConsumer {
 impl FiveBusConsumer {
     /// All consumers, in the paper's order (locations B, C, D map to the
     /// paper's data centers 1, 2, 3).
-    pub const ALL: [FiveBusConsumer; 3] = [
-        FiveBusConsumer::B,
-        FiveBusConsumer::C,
-        FiveBusConsumer::D,
-    ];
+    pub const ALL: [FiveBusConsumer; 3] =
+        [FiveBusConsumer::B, FiveBusConsumer::C, FiveBusConsumer::D];
 }
 
 /// Handles to the named buses of the five-bus system.
@@ -93,10 +90,7 @@ pub fn pjm_five_bus() -> (Grid, FiveBus) {
 /// the LMP series and a [`StepPolicy`] fitted to it.
 ///
 /// This regenerates the paper's Figure 1 from first principles.
-pub fn derive_policies(
-    max_load_mw: f64,
-    step_mw: f64,
-) -> Result<Vec<DerivedPolicy>, OpfError> {
+pub fn derive_policies(max_load_mw: f64, step_mw: f64) -> Result<Vec<DerivedPolicy>, OpfError> {
     let (grid, buses) = pjm_five_bus();
     let n_buses = grid.buses.len();
     let opf = OpfSolver::new(grid)?;
@@ -112,10 +106,7 @@ pub fn derive_policies(
         // Exact dual-based LMPs: one LP per sweep point.
         match opf.lmp_decomposition(&loads) {
             Ok(dec) => {
-                for (s, bus) in series
-                    .iter_mut()
-                    .zip([buses.b, buses.c, buses.d])
-                {
+                for (s, bus) in series.iter_mut().zip([buses.b, buses.c, buses.d]) {
                     s.push((load, dec.lmp[bus.0]));
                 }
             }

@@ -202,7 +202,11 @@ mod tests {
         let ptdf = g.ptdf().unwrap();
         // Inject 1 MW at B (slack A): direct line AB carries -2/3 (B->A),
         // path B->C->A carries 1/3.
-        assert!((ptdf[(0, b.0)] + 2.0 / 3.0).abs() < 1e-9, "{}", ptdf[(0, b.0)]);
+        assert!(
+            (ptdf[(0, b.0)] + 2.0 / 3.0).abs() < 1e-9,
+            "{}",
+            ptdf[(0, b.0)]
+        );
         assert!((ptdf[(1, b.0)] - 1.0 / 3.0).abs() < 1e-9);
         assert!((ptdf[(2, b.0)] + 1.0 / 3.0).abs() < 1e-9);
     }

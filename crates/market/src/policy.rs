@@ -67,9 +67,7 @@ impl StepPolicy {
 
     /// Price at a given total regional load.
     pub fn price_at(&self, load_mw: f64) -> f64 {
-        let k = self
-            .breakpoints
-            .partition_point(|&b| b <= load_mw);
+        let k = self.breakpoints.partition_point(|&b| b <= load_mw);
         self.prices[k]
     }
 
@@ -145,8 +143,7 @@ impl StepPolicy {
         let mut level_prices = vec![series[0].1];
         for w in series.windows(2) {
             let (load, price) = w[1];
-            let current_mean: f64 =
-                level_prices.iter().sum::<f64>() / level_prices.len() as f64;
+            let current_mean: f64 = level_prices.iter().sum::<f64>() / level_prices.len() as f64;
             if (price - current_mean).abs() > price_tol {
                 prices.push(current_mean);
                 breakpoints.push(load);

@@ -66,9 +66,12 @@ pub fn two_area() -> (Grid, TwoArea) {
     g.add_generator("gas-cc", b[4], 300.0, 32.0);
     g.add_generator("gas-peaker", b[7], 200.0, 45.0);
 
-    (g, TwoArea {
-        buses: [b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]],
-    })
+    (
+        g,
+        TwoArea {
+            buses: [b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]],
+        },
+    )
 }
 
 /// Sweeps the system load (split 25 % to each load bus) and fits a step
@@ -120,7 +123,11 @@ mod tests {
         }
         let dec = opf.lmp_decomposition(&loads).unwrap();
         for &lb in &sys.load_buses() {
-            assert!((dec.lmp[lb.0] - 8.0).abs() < 1e-6, "bus {lb:?}: {}", dec.lmp[lb.0]);
+            assert!(
+                (dec.lmp[lb.0] - 8.0).abs() < 1e-6,
+                "bus {lb:?}: {}",
+                dec.lmp[lb.0]
+            );
         }
     }
 
@@ -174,7 +181,10 @@ mod tests {
         // Counter-flow buses may price *below* the cheapest unit under
         // congestion — a hallmark of real LMPs the decomposition exposes.
         let any_below_floor = policies.iter().any(|(_, p)| p.min_price() < 8.0 - 0.5);
-        assert!(any_below_floor, "expected a counter-flow discount somewhere");
+        assert!(
+            any_below_floor,
+            "expected a counter-flow discount somewhere"
+        );
         // Area-2 load buses must end up pricier than area-1's.
         let max_price_area1 = policies[0].1.max_price().max(policies[1].1.max_price());
         let max_price_area2 = policies[2].1.max_price().max(policies[3].1.max_price());
@@ -192,9 +202,6 @@ mod tests {
         // the tie capacity (180 + 140 MW).
         let mut loads = vec![0.0; 8];
         loads[sys.buses[6].0] = 900.0;
-        assert!(matches!(
-            opf.dispatch(&loads),
-            Err(OpfError::Infeasible)
-        ));
+        assert!(matches!(opf.dispatch(&loads), Err(OpfError::Infeasible)));
     }
 }

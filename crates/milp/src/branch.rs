@@ -1,4 +1,12 @@
 //! Best-first branch-and-bound over the simplex relaxation.
+//!
+//! With [`MipSolver::threads`] > 1 the search runs on a shared
+//! best-bound frontier: workers pull open nodes from a heap protected by
+//! a mutex, solve node relaxations independently on worker-local model
+//! clones, and publish improving incumbents through an atomic cell that
+//! every worker reads for global-bound pruning. The reduction is
+//! deterministic — see [`parallel`] for why parallel and sequential
+//! solves of well-posed instances return identical objectives.
 
 use crate::error::SolveError;
 use crate::model::{Model, Sense, VarId};
@@ -7,6 +15,8 @@ use crate::solution::{MipStats, Solution, Status};
 use crate::INT_TOL;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+mod parallel;
 
 /// How to pick the fractional variable to branch on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +48,15 @@ pub struct MipSolver {
     pub max_nodes: usize,
     /// Branch variable selection rule.
     pub branch_rule: BranchRule,
-    /// Node exploration order.
+    /// Node exploration order (sequential search only; the parallel
+    /// search is always best-bound).
     pub node_selection: NodeSelection,
     /// Terminate when the relative gap falls below this value.
     pub gap_tol: f64,
+    /// Worker count for the branch-and-bound search. `1` (the default)
+    /// keeps the sequential search; `0` means "use
+    /// [`billcap_rt::num_threads`]" (which honors `BILLCAP_THREADS`).
+    pub threads: usize,
 }
 
 impl Default for MipSolver {
@@ -53,6 +68,7 @@ impl Default for MipSolver {
             branch_rule: BranchRule::MostFractional,
             node_selection: NodeSelection::BestBound,
             gap_tol: 1e-9,
+            threads: 1,
         }
     }
 }
@@ -119,6 +135,24 @@ impl Frontier {
 }
 
 impl MipSolver {
+    /// A solver using every available worker (see
+    /// [`billcap_rt::num_threads`]); otherwise identical to the default.
+    pub fn parallel() -> Self {
+        Self {
+            threads: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The resolved worker count: `threads`, or the machine default when
+    /// `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => billcap_rt::num_threads(),
+            n => n,
+        }
+    }
+
     /// Solves `model` to integer optimality (or best incumbent at the node
     /// limit, reported with [`Status::Feasible`]).
     pub fn solve(&self, model: &Model) -> Result<Solution, SolveError> {
@@ -142,19 +176,29 @@ impl MipSolver {
         };
 
         // Root bounds, with integer bounds pre-rounded inward.
-        let mut root_bounds: Vec<(f64, f64)> = model
-            .variables()
-            .iter()
-            .map(|v| (v.lb, v.ub))
-            .collect();
+        let mut root_bounds: Vec<(f64, f64)> =
+            model.variables().iter().map(|v| (v.lb, v.ub)).collect();
         for &v in &int_vars {
             let (lb, ub) = root_bounds[v.index()];
-            let lb = if lb.is_finite() { (lb - self.int_tol).ceil() } else { lb };
-            let ub = if ub.is_finite() { (ub + self.int_tol).floor() } else { ub };
+            let lb = if lb.is_finite() {
+                (lb - self.int_tol).ceil()
+            } else {
+                lb
+            };
+            let ub = if ub.is_finite() {
+                (ub + self.int_tol).floor()
+            } else {
+                ub
+            };
             if lb > ub {
                 return Err(SolveError::Infeasible);
             }
             root_bounds[v.index()] = (lb, ub);
+        }
+
+        let threads = self.effective_threads();
+        if threads > 1 {
+            return parallel::solve(self, model, &int_vars, sign, root_bounds, threads);
         }
 
         let mut work = model.clone();
@@ -172,7 +216,6 @@ impl MipSolver {
         let mut incumbent_key = f64::INFINITY;
         let mut nodes = 0usize;
         let mut lp_iterations = 0usize;
-        let mut best_bound_seen = f64::NEG_INFINITY;
 
         while let Some(node) = frontier.pop() {
             // Global-bound prune (incumbent may have improved since push).
@@ -199,7 +242,6 @@ impl MipSolver {
             };
             lp_iterations += lp_sol.iterations;
             let node_key = sign * lp_sol.objective;
-            best_bound_seen = best_bound_seen.max(node.bound);
             if node_key >= incumbent_key - self.prune_slack(incumbent_key) {
                 continue; // bound prune
             }
@@ -329,8 +371,7 @@ impl MipSolver {
                     .best_bound()
                     .unwrap_or(sign * sol.objective)
                     .min(sign * sol.objective);
-                let gap =
-                    (sign * sol.objective - bound_key).abs() / sol.objective.abs().max(1.0);
+                let gap = (sign * sol.objective - bound_key).abs() / sol.objective.abs().max(1.0);
                 sol.mip = Some(MipStats {
                     nodes,
                     lp_iterations,
@@ -418,7 +459,10 @@ mod tests {
             ConstraintOp::Le,
             20.0,
         );
-        m.set_objective(items.iter().zip(values).map(|(&v, c)| (v, c)).collect(), 0.0);
+        m.set_objective(
+            items.iter().zip(values).map(|(&v, c)| (v, c)).collect(),
+            0.0,
+        );
         let best = MipSolver::default().solve(&m).unwrap();
         let dfs = MipSolver {
             node_selection: NodeSelection::DepthFirst,
@@ -481,6 +525,126 @@ mod tests {
         assert!(stats.nodes >= 1);
         assert!(stats.gap <= 1e-9);
         assert_close(s.objective, 3.0);
+    }
+
+    /// Builds a knapsack-like random integer program with `n` variables.
+    fn random_ip(rng: &mut billcap_rt::Xoshiro256pp, n: usize) -> Model {
+        use billcap_rt::Rng;
+        let mut m = Model::new("rand", Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Integer, 0.0, 3.0))
+            .collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.random_i64_in(1, 9) as f64).collect();
+        let values: Vec<f64> = (0..n).map(|_| rng.random_i64_in(1, 19) as f64).collect();
+        let cap = weights.iter().sum::<f64>() * 0.45;
+        m.add_constraint(
+            "w",
+            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect(),
+            ConstraintOp::Le,
+            cap,
+        );
+        // A second coupling row so relaxations stay fractional.
+        m.add_constraint(
+            "c",
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64))
+                .collect(),
+            ConstraintOp::Le,
+            2.0 * n as f64,
+        );
+        m.set_objective(
+            vars.iter().zip(&values).map(|(&v, &c)| (v, c)).collect(),
+            0.0,
+        );
+        m
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_knapsack() {
+        let mut m = Model::new("knap", Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(
+            "w",
+            vec![(a, 3.0), (b, 4.0), (c, 2.0)],
+            ConstraintOp::Le,
+            6.0,
+        );
+        m.set_objective(vec![(a, 10.0), (b, 13.0), (c, 7.0)], 0.0);
+        let par = MipSolver {
+            threads: 8,
+            ..Default::default()
+        };
+        let s = par.solve(&m).unwrap();
+        assert_eq!(s.objective, 20.0);
+        assert_eq!(s.int_value(b), 1);
+        assert_eq!(s.int_value(c), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_ips() {
+        let mut rng = billcap_rt::Xoshiro256pp::seed_from_u64(0xB4B);
+        let seq = MipSolver::default();
+        let par = MipSolver {
+            threads: 8,
+            ..Default::default()
+        };
+        for round in 0..20 {
+            let m = random_ip(&mut rng, 4 + round % 5);
+            let a = seq.solve(&m).unwrap();
+            let b = par.solve(&m).unwrap();
+            assert_eq!(
+                a.objective, b.objective,
+                "round {round}: sequential {} vs parallel {}",
+                a.objective, b.objective
+            );
+            assert!(m.is_feasible(&b.values, 1e-6), "round {round}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_infeasible_and_node_limit() {
+        // Infeasible integrality window.
+        let mut m = Model::new("noint", Sense::Minimize);
+        let x = m.add_var("x", VarType::Integer, 0.4, 0.6);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        let par = MipSolver {
+            threads: 4,
+            ..Default::default()
+        };
+        assert_eq!(par.solve(&m), Err(SolveError::Infeasible));
+
+        // Tiny node budget still terminates (feasible or limit error).
+        let mut m = Model::new("lim", Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constraint(
+            "c",
+            vars.iter().map(|&v| (v, 7.0)).collect(),
+            ConstraintOp::Eq,
+            35.0,
+        );
+        m.set_objective(vars.iter().map(|&v| (v, 1.0)).collect(), 0.0);
+        let par = MipSolver {
+            threads: 4,
+            max_nodes: 2,
+            ..Default::default()
+        };
+        match par.solve(&m) {
+            Ok(s) => assert!(m.is_feasible(&s.values, 1e-6)),
+            Err(SolveError::NodeLimit { nodes }) => assert!(nodes <= 2 + 4),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn parallel_pure_lp_passthrough() {
+        let mut m = Model::new("lp", Sense::Minimize);
+        let x = m.add_cont("x", 2.0, 8.0);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        let s = MipSolver::parallel().solve(&m).unwrap();
+        assert_close(s.objective, 2.0);
     }
 
     #[test]

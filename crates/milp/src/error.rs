@@ -25,7 +25,10 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "model is infeasible"),
             SolveError::Unbounded => write!(f, "model is unbounded"),
             SolveError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached ({iterations} iterations)")
+                write!(
+                    f,
+                    "simplex iteration limit reached ({iterations} iterations)"
+                )
             }
             SolveError::NodeLimit { nodes } => {
                 write!(f, "branch-and-bound node limit reached ({nodes} nodes)")
@@ -48,8 +51,12 @@ mod tests {
         assert!(SolveError::IterationLimit { iterations: 7 }
             .to_string()
             .contains('7'));
-        assert!(SolveError::NodeLimit { nodes: 42 }.to_string().contains("42"));
-        assert!(SolveError::InvalidModel("bad".into()).to_string().contains("bad"));
+        assert!(SolveError::NodeLimit { nodes: 42 }
+            .to_string()
+            .contains("42"));
+        assert!(SolveError::InvalidModel("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

@@ -277,7 +277,10 @@ fn write_terms(out: &mut String, model: &Model, terms: &[(VarId, f64)]) {
 }
 
 fn var_name(model: &Model, v: VarId) -> String {
-    sanitize(&model.variables()[v.index()].name, &format!("x{}", v.index()))
+    sanitize(
+        &model.variables()[v.index()].name,
+        &format!("x{}", v.index()),
+    )
 }
 
 /// LP-format identifiers cannot contain spaces or operators; fall back to

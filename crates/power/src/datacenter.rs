@@ -81,8 +81,7 @@ impl DcPowerModel {
     /// the MILP multiplies by the (continuous) server count:
     /// `(sp + net_per_server) · (1 + cooling overhead)`.
     pub fn watts_per_server(&self) -> f64 {
-        (self.server_watts() + self.network.watts_per_server())
-            * self.cooling.overhead_factor()
+        (self.server_watts() + self.network.watts_per_server()) * self.cooling.overhead_factor()
     }
 
     /// Server-only watts per server (what the Min-Only baselines model:

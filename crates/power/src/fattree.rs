@@ -44,7 +44,10 @@ pub struct FatTree {
 impl FatTree {
     /// Creates a fat tree of arity `k`.
     pub fn new(k: u64, switch_power: SwitchPower) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
         Self { k, switch_power }
     }
 
@@ -173,8 +176,7 @@ mod tests {
             let exact = t.networking_power_w(n);
             let linear = coeff * n as f64;
             // Ceils cost at most one switch per tier.
-            let max_err =
-                sp().edge_w + sp().aggregation_w + sp().core_w;
+            let max_err = sp().edge_w + sp().aggregation_w + sp().core_w;
             assert!(
                 (exact - linear).abs() <= max_err,
                 "n={n}: exact {exact} vs linear {linear}"

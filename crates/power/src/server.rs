@@ -18,7 +18,10 @@ pub struct ServerModel {
 impl ServerModel {
     /// Creates a model; panics if `idle_w > peak_w` or either is negative.
     pub fn new(idle_w: f64, peak_w: f64) -> Self {
-        assert!(idle_w >= 0.0 && peak_w >= 0.0, "powers must be non-negative");
+        assert!(
+            idle_w >= 0.0 && peak_w >= 0.0,
+            "powers must be non-negative"
+        );
         assert!(idle_w <= peak_w, "idle power cannot exceed peak power");
         Self { idle_w, peak_w }
     }

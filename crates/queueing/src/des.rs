@@ -8,11 +8,9 @@
 //! analytic M/M/m formulas and check that the paper's conservative server
 //! sizing actually meets its response-time targets.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::collections::BinaryHeap;
+use billcap_rt::{Rng, Xoshiro256pp};
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A non-negative inter-arrival / service time distribution, chosen by
 /// mean and squared coefficient of variation.
@@ -164,7 +162,7 @@ impl QueueSim {
     /// `O(n log m)`.
     pub fn run(&self, requests: u64) -> SimStats {
         assert!(self.servers > 0, "need at least one server");
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         // Min-heap of times at which servers become free.
         let mut free_at: BinaryHeap<Reverse<OrderedF64>> = (0..self.servers)
             .map(|_| Reverse(OrderedF64(0.0)))
@@ -200,9 +198,7 @@ impl QueueSim {
             if responses.is_empty() {
                 return 0.0;
             }
-            let idx = ((responses.len() as f64 * q).ceil() as usize)
-                .clamp(1, responses.len())
-                - 1;
+            let idx = ((responses.len() as f64 * q).ceil() as usize).clamp(1, responses.len()) - 1;
             responses[idx]
         };
         SimStats {
@@ -227,7 +223,9 @@ impl PartialOrd for OrderedF64 {
 }
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("event times are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("event times are never NaN")
     }
 }
 
@@ -241,10 +239,14 @@ mod tests {
 
     #[test]
     fn distribution_means_match() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for scv in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
             let d = Distribution::from_mean_scv(3.0, scv);
-            assert!((d.mean() - 3.0).abs() < 1e-9, "scv {scv}: mean {}", d.mean());
+            assert!(
+                (d.mean() - 3.0).abs() < 1e-9,
+                "scv {scv}: mean {}",
+                d.mean()
+            );
             let sample_mean: f64 =
                 (0..100_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 100_000.0;
             assert!(
@@ -256,7 +258,7 @@ mod tests {
 
     #[test]
     fn sampled_scv_matches_request() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for scv in [0.25, 1.0, 3.0] {
             let d = Distribution::from_mean_scv(1.0, scv);
             let samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();

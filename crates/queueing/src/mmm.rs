@@ -120,6 +120,9 @@ mod tests {
         let c = erlang_c(300_000, 299_000.0);
         assert!((0.0..=1.0).contains(&c));
         let c2 = erlang_c(300_000, 100_000.0);
-        assert!(c2 < 1e-6, "lightly loaded huge farm should rarely queue: {c2}");
+        assert!(
+            c2 < 1e-6,
+            "lightly loaded huge farm should rarely queue: {c2}"
+        );
     }
 }

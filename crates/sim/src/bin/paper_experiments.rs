@@ -17,17 +17,14 @@ use std::path::PathBuf;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Optional `--csv DIR`: also write each figure's raw series as CSV.
-    let csv_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|pos| {
-            let dir = args
-                .get(pos + 1)
-                .expect("--csv requires a directory argument")
-                .clone();
-            args.drain(pos..=pos + 1);
-            PathBuf::from(dir)
-        });
+    let csv_dir: Option<PathBuf> = args.iter().position(|a| a == "--csv").map(|pos| {
+        let dir = args
+            .get(pos + 1)
+            .expect("--csv requires a directory argument")
+            .clone();
+        args.drain(pos..=pos + 1);
+        PathBuf::from(dir)
+    });
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv output directory");
     }

@@ -4,7 +4,7 @@
 //!
 //! Every runner returns structured data with a `render()` producing the
 //! same rows/series the paper reports. Sweeps over independent month
-//! simulations are parallelized with rayon.
+//! simulations fan out on the `billcap-rt` worker pool.
 
 use crate::metrics::MonthlyReport;
 use crate::runner::{run_month, Strategy};
@@ -15,7 +15,7 @@ use billcap_core::{
 };
 use billcap_market::{fivebus, FiveBusConsumer, PricingPolicySet, StepPolicy};
 use billcap_power::{CoolingModel, DcPowerModel, FatTree, ServerModel, SwitchPower};
-use rayon::prelude::*;
+use billcap_rt::try_par_map;
 use std::time::Instant;
 
 /// Default seed used by the experiment suite (any seed reproduces the same
@@ -101,10 +101,8 @@ pub struct Fig3 {
 /// Runs Figure 3.
 pub fn fig3(seed: u64) -> Result<Fig3, CoreError> {
     let scenario = Scenario::paper_default(1, seed);
-    let mut results: Vec<MonthlyReport> = Strategy::ALL
-        .par_iter()
-        .map(|&s| run_month(&scenario, s, None))
-        .collect::<Result<_, _>>()?;
+    let mut results: Vec<MonthlyReport> =
+        try_par_map(&Strategy::ALL, |&s| run_month(&scenario, s, None))?;
     let min_only_low = results.pop().expect("three strategies");
     let min_only_avg = results.pop().expect("three strategies");
     let capping = results.pop().expect("three strategies");
@@ -132,8 +130,7 @@ impl Fig3 {
                 dollars(self.min_only_low.hours[t].realized_cost),
             ]);
         }
-        let mut out =
-            String::from("Figure 3: hourly electricity cost (first day shown; $/hour)\n");
+        let mut out = String::from("Figure 3: hourly electricity cost (first day shown; $/hour)\n");
         out.push_str(&render_table(
             &["hour", "Cost Capping", "Min-Only (Avg)", "Min-Only (Low)"],
             &rows,
@@ -166,16 +163,11 @@ pub struct Fig4 {
 
 /// Runs Figure 4 (4 policies x 3 strategies, in parallel).
 pub fn fig4(seed: u64) -> Result<Fig4, CoreError> {
-    let cells: Vec<(usize, usize)> = (0..4)
-        .flat_map(|p| (0..3).map(move |s| (p, s)))
-        .collect();
-    let costs: Vec<((usize, usize), f64)> = cells
-        .par_iter()
-        .map(|&(p, s)| {
-            let scenario = Scenario::paper_default(p, seed);
-            run_month(&scenario, Strategy::ALL[s], None).map(|r| ((p, s), r.total_cost()))
-        })
-        .collect::<Result<_, _>>()?;
+    let cells: Vec<(usize, usize)> = (0..4).flat_map(|p| (0..3).map(move |s| (p, s))).collect();
+    let costs: Vec<((usize, usize), f64)> = try_par_map(&cells, |&(p, s)| {
+        let scenario = Scenario::paper_default(p, seed);
+        run_month(&scenario, Strategy::ALL[s], None).map(|r| ((p, s), r.total_cost()))
+    })?;
     let mut bills = vec![[0.0; 3]; 4];
     for ((p, s), c) in costs {
         bills[p][s] = c;
@@ -271,13 +263,7 @@ impl BudgetedMonth {
         );
         out.push_str(&render_table(
             &[
-                "hour",
-                "prem off",
-                "prem srv",
-                "ord off",
-                "ord srv",
-                "cost",
-                "budget",
+                "hour", "prem off", "prem srv", "ord off", "ord srv", "cost", "budget",
             ],
             &rows,
         ));
@@ -312,10 +298,8 @@ pub struct Fig9 {
 pub fn fig9(seed: u64) -> Result<Fig9, CoreError> {
     let scenario = Scenario::paper_default(1, seed);
     let budget = Scenario::STRINGENT_BUDGET;
-    let reports: Vec<MonthlyReport> = Strategy::ALL
-        .par_iter()
-        .map(|&s| run_month(&scenario, s, Some(budget)))
-        .collect::<Result<_, _>>()?;
+    let reports: Vec<MonthlyReport> =
+        try_par_map(&Strategy::ALL, |&s| run_month(&scenario, s, Some(budget)))?;
     let mut rows = [(0.0, 0.0, 0.0); 3];
     for (i, r) in reports.iter().enumerate() {
         rows[i] = (
@@ -371,19 +355,16 @@ pub struct Fig10 {
 /// Runs Figure 10 (the five budgets in parallel).
 pub fn fig10(seed: u64) -> Result<Fig10, CoreError> {
     let scenario = Scenario::paper_default(1, seed);
-    let rows: Vec<(f64, f64, f64, f64)> = Scenario::BUDGET_LADDER
-        .par_iter()
-        .map(|&b| {
-            run_month(&scenario, Strategy::CostCapping, Some(b)).map(|r| {
-                (
-                    b,
-                    r.premium_throughput(),
-                    r.ordinary_throughput(),
-                    r.budget_utilization().unwrap_or(f64::NAN),
-                )
-            })
+    let rows: Vec<(f64, f64, f64, f64)> = try_par_map(&Scenario::BUDGET_LADDER, |&b| {
+        run_month(&scenario, Strategy::CostCapping, Some(b)).map(|r| {
+            (
+                b,
+                r.premium_throughput(),
+                r.ordinary_throughput(),
+                r.budget_utilization().unwrap_or(f64::NAN),
+            )
         })
-        .collect::<Result<_, _>>()?;
+    })?;
     Ok(Fig10 { rows })
 }
 
@@ -525,7 +506,10 @@ pub fn ablation_power_model(seed: u64) -> Result<PowerModelAblation, CoreError> 
     let mut full_cost = 0.0;
     let mut blind_cost = 0.0;
     for t in 0..scenario.horizon() {
-        let lambda = scenario.workload.at(t).min(scenario.system.total_capacity());
+        let lambda = scenario
+            .workload
+            .at(t)
+            .min(scenario.system.total_capacity());
         let d = scenario.background_at(t);
         let full = minimizer.solve(&scenario.system, lambda, &d)?;
         full_cost += evaluate_allocation(&scenario.system, &full.lambda, &d).total_cost;
@@ -574,21 +558,18 @@ pub fn ablation_budget_history(seed: u64) -> Result<BudgeterAblation, CoreError>
         ("2 weeks".into(), 336),
         ("4 weeks".into(), 672),
     ];
-    let mut rows: Vec<(String, f64, usize)> = variants
-        .par_iter()
-        .map(|(label, hours)| {
-            let mut s = base.clone();
-            let start = s.history.len() - hours;
-            s.history = s.history.slice(start, *hours);
-            run_month(&s, Strategy::CostCapping, Some(Scenario::STRINGENT_BUDGET)).map(|r| {
-                (
-                    label.clone(),
-                    r.ordinary_throughput(),
-                    r.hourly_violations(),
-                )
-            })
+    let mut rows: Vec<(String, f64, usize)> = try_par_map(&variants, |(label, hours)| {
+        let mut s = base.clone();
+        let start = s.history.len() - hours;
+        s.history = s.history.slice(start, *hours);
+        run_month(&s, Strategy::CostCapping, Some(Scenario::STRINGENT_BUDGET)).map(|r| {
+            (
+                label.clone(),
+                r.ordinary_throughput(),
+                r.hourly_violations(),
+            )
         })
-        .collect::<Result<_, _>>()?;
+    })?;
     rows.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(BudgeterAblation { rows })
 }
@@ -622,37 +603,34 @@ pub struct PredictionErrorAblation {
 
 /// Runs the prediction-error ablation.
 pub fn ablation_prediction_error(seed: u64) -> Result<PredictionErrorAblation, CoreError> {
-    use rand::{Rng, SeedableRng};
+    use billcap_rt::{Rng, Xoshiro256pp};
     let base = Scenario::paper_default(1, seed);
     let amplitudes = [0.0, 0.1, 0.25, 0.5];
-    let rows: Vec<(f64, f64, usize, f64)> = amplitudes
-        .par_iter()
-        .map(|&amp| {
-            let mut s = base.clone();
-            if amp > 0.0 {
-                // Deterministic multiplicative distortion of the history.
-                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xbad5eed);
-                let distorted: Vec<f64> = s
-                    .history
-                    .values()
-                    .iter()
-                    .map(|&v| {
-                        let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
-                        v * (1.0 + amp * u).max(0.05)
-                    })
-                    .collect();
-                s.history = billcap_workload::HourlyTrace::new(distorted);
-            }
-            run_month(&s, Strategy::CostCapping, Some(Scenario::STRINGENT_BUDGET)).map(|r| {
-                (
-                    amp,
-                    r.ordinary_throughput(),
-                    r.hourly_violations(),
-                    r.budget_utilization().unwrap_or(f64::NAN),
-                )
-            })
+    let rows: Vec<(f64, f64, usize, f64)> = try_par_map(&amplitudes, |&amp| {
+        let mut s = base.clone();
+        if amp > 0.0 {
+            // Deterministic multiplicative distortion of the history.
+            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xbad5eed);
+            let distorted: Vec<f64> = s
+                .history
+                .values()
+                .iter()
+                .map(|&v| {
+                    let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+                    v * (1.0 + amp * u).max(0.05)
+                })
+                .collect();
+            s.history = billcap_workload::HourlyTrace::new(distorted);
+        }
+        run_month(&s, Strategy::CostCapping, Some(Scenario::STRINGENT_BUDGET)).map(|r| {
+            (
+                amp,
+                r.ordinary_throughput(),
+                r.hourly_violations(),
+                r.budget_utilization().unwrap_or(f64::NAN),
+            )
         })
-        .collect::<Result<_, _>>()?;
+    })?;
     Ok(PredictionErrorAblation { rows })
 }
 
@@ -671,11 +649,15 @@ impl PredictionErrorAblation {
                 ]
             })
             .collect();
-        let mut out = String::from(
-            "Prediction-error robustness ($1.5M budget; noisy budgeting history)\n",
-        );
+        let mut out =
+            String::from("Prediction-error robustness ($1.5M budget; noisy budgeting history)\n");
         out.push_str(&render_table(
-            &["history noise", "ordinary tput", "violations", "cost/budget"],
+            &[
+                "history noise",
+                "ordinary tput",
+                "violations",
+                "cost/budget",
+            ],
             &rows,
         ));
         out
@@ -745,9 +727,8 @@ impl HierarchicalComparison {
                 ]
             })
             .collect();
-        let mut out = String::from(
-            "Hierarchical vs centralized cost minimization (regions of 3 sites)\n",
-        );
+        let mut out =
+            String::from("Hierarchical vs centralized cost minimization (regions of 3 sites)\n");
         out.push_str(&render_table(
             &["sites", "central us", "hierarchical us", "cost gap"],
             &rows,
@@ -780,7 +761,10 @@ pub fn ablation_network_consolidation(
     let mut always_on_cost = 0.0;
     let mut energy_saved_mwh = 0.0;
     for t in 0..scenario.horizon() {
-        let lambda = scenario.workload.at(t).min(scenario.system.total_capacity());
+        let lambda = scenario
+            .workload
+            .at(t)
+            .min(scenario.system.total_capacity());
         let d = scenario.background_at(t);
         let alloc = minimizer.solve(&scenario.system, lambda, &d)?;
         let real = evaluate_allocation(&scenario.system, &alloc.lambda, &d);
@@ -791,9 +775,7 @@ pub fn ablation_network_consolidation(
             let consolidated_w = site.power.network.networking_power_w(n);
             let always_w = site.power.network.always_on_power_w();
             // The extra switch heat also needs cooling.
-            let delta_mw = (always_w - consolidated_w)
-                * site.power.cooling.overhead_factor()
-                / 1e6;
+            let delta_mw = (always_w - consolidated_w) * site.power.cooling.overhead_factor() / 1e6;
             energy_saved_mwh += delta_mw; // one hour at delta_mw
             always_on_cost += real.price[i] * delta_mw;
         }
@@ -866,8 +848,7 @@ pub fn ablation_weather(seed: u64) -> Result<WeatherAblation, CoreError> {
             .enumerate()
             .map(|(i, s)| s.with_cooling_efficiency(curves[i].coe_at(temps[i].at(t))))
             .collect();
-        let true_system =
-            DataCenterSystem::new(true_sites, scenario.system.policies.clone())?;
+        let true_system = DataCenterSystem::new(true_sites, scenario.system.policies.clone())?;
         let lambda = scenario
             .workload
             .at(t)
@@ -919,18 +900,15 @@ pub struct SeedStability {
 
 /// Runs Figure 3 for `seeds` independent seeds (in parallel).
 pub fn seed_stability(seeds: &[u64]) -> Result<SeedStability, CoreError> {
-    let rows: Vec<(u64, f64, f64)> = seeds
-        .par_iter()
-        .map(|&seed| {
-            fig3(seed).map(|f| {
-                (
-                    seed,
-                    f.savings_vs(&f.min_only_avg),
-                    f.savings_vs(&f.min_only_low),
-                )
-            })
+    let rows: Vec<(u64, f64, f64)> = try_par_map(seeds, |&seed| {
+        fig3(seed).map(|f| {
+            (
+                seed,
+                f.savings_vs(&f.min_only_avg),
+                f.savings_vs(&f.min_only_low),
+            )
         })
-        .collect::<Result<_, _>>()?;
+    })?;
     Ok(SeedStability { rows })
 }
 
@@ -981,13 +959,14 @@ pub struct PredictorAccuracy {
 
 /// Runs the predictor-accuracy comparison.
 pub fn predictor_accuracy(seed: u64) -> PredictorAccuracy {
-    use billcap_workload::{
-        mape, EwmaSeasonalPredictor, HourOfWeekPredictor, NaivePredictor,
-    };
+    use billcap_workload::{mape, EwmaSeasonalPredictor, HourOfWeekPredictor, NaivePredictor};
     let scenario = Scenario::paper_default(1, seed);
     let mut rows = Vec::new();
     let mut naive = NaivePredictor::default();
-    rows.push(("naive (last hour)".to_string(), mape(&mut naive, &scenario.workload)));
+    rows.push((
+        "naive (last hour)".to_string(),
+        mape(&mut naive, &scenario.workload),
+    ));
     let mut seasonal = HourOfWeekPredictor::from_history(&scenario.history);
     rows.push((
         "hour-of-week".to_string(),

@@ -17,8 +17,8 @@
 //!   ablation studies; each returns structured data and renders the same
 //!   rows/series the paper reports.
 //!
-//! Parameter sweeps (policy families, budget ladders) run in parallel with
-//! rayon — each month simulation is independent.
+//! Parameter sweeps (policy families, budget ladders) fan out on the
+//! `billcap-rt` worker pool — each month simulation is independent.
 
 pub mod experiments;
 pub mod export;

@@ -2,9 +2,7 @@
 
 use crate::metrics::{HourRecord, MonthlyReport};
 use crate::scenario::Scenario;
-use billcap_core::{
-    evaluate_allocation, BillCapper, CoreError, MinOnly, PriceAssumption,
-};
+use billcap_core::{evaluate_allocation, BillCapper, CoreError, MinOnly, PriceAssumption};
 use billcap_workload::Budgeter;
 
 /// The strategies the paper evaluates.
@@ -208,8 +206,8 @@ mod tests {
         let low = run_month(&s, Strategy::MinOnlyLow, None).unwrap();
         assert!(low.total_believed_cost() < low.total_cost());
         let capping = run_month(&s, Strategy::CostCapping, None).unwrap();
-        let rel = (capping.total_believed_cost() - capping.total_cost()).abs()
-            / capping.total_cost();
+        let rel =
+            (capping.total_believed_cost() - capping.total_cost()).abs() / capping.total_cost();
         assert!(rel < 0.01, "capping believed-vs-real gap {rel}");
     }
 }

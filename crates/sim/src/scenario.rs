@@ -1,9 +1,7 @@
 //! The paper's simulated scenario (Section VI).
 
 use billcap_core::DataCenterSystem;
-use billcap_workload::{
-    BackgroundDemand, CustomerSplit, HourlyTrace, TraceConfig, TraceGenerator,
-};
+use billcap_workload::{BackgroundDemand, CustomerSplit, HourlyTrace, TraceConfig, TraceGenerator};
 
 /// Everything an experiment needs: the data-center network, two months of
 /// workload (history for budgeting, evaluation month to simulate),
@@ -27,7 +25,13 @@ impl Scenario {
     pub const MEAN_RATE: f64 = 7.0e8;
 
     /// The paper's monthly budget ladder (Figure 10), in dollars.
-    pub const BUDGET_LADDER: [f64; 5] = [500_000.0, 1_000_000.0, 1_500_000.0, 2_000_000.0, 2_500_000.0];
+    pub const BUDGET_LADDER: [f64; 5] = [
+        500_000.0,
+        1_000_000.0,
+        1_500_000.0,
+        2_000_000.0,
+        2_500_000.0,
+    ];
 
     /// The "sufficient" budget of Figures 5/6.
     pub const ABUNDANT_BUDGET: f64 = 2_500_000.0;

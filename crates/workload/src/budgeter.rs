@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn carryover_resets_at_week_boundary() {
         let mut b = Budgeter::uniform(2.0 * 1680.0, 2 * HOURS_PER_WEEK); // $10/hour
-        // Spend nothing all of week one.
+                                                                         // Spend nothing all of week one.
         for _ in 0..HOURS_PER_WEEK {
             b.record_spend(0.0);
         }
@@ -215,7 +215,10 @@ mod tests {
         let mut b = Budgeter::uniform(1680.0, HOURS_PER_WEEK); // $10/hour
         b.record_spend(25.0); // $15 overrun
         let next = b.hourly_budget();
-        assert!(next < 1e-9, "overdrawn week should clamp to zero, got {next}");
+        assert!(
+            next < 1e-9,
+            "overdrawn week should clamp to zero, got {next}"
+        );
         b.record_spend(0.0);
         // Two hours' allotment ($20) minus the $15 overdraft leaves $5 for
         // the third hour's own $10 + carryover -5 => 5.

@@ -6,9 +6,7 @@
 //! surges that motivate bill capping in the paper's introduction.
 
 use crate::trace::HourlyTrace;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use billcap_rt::{Rng, Xoshiro256pp};
 
 /// A flash-crowd event: the arrival rate is multiplied by a factor that
 /// jumps at `start_hour` and decays geometrically over `duration_hours`.
@@ -121,16 +119,15 @@ impl TraceGenerator {
     }
 
     /// Generates `hours` hourly request rates. Identical inputs produce
-    /// identical traces (seeded ChaCha RNG).
+    /// identical traces (seeded xoshiro256++ RNG).
     pub fn generate(&self, hours: usize) -> HourlyTrace {
         let c = &self.config;
-        let mut rng = ChaCha8Rng::seed_from_u64(c.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(c.seed);
         let mut values = Vec::with_capacity(hours);
         for t in 0..hours {
             let hour_of_day = t % 24;
             let day_of_week = (t / 24) % 7;
-            let phase =
-                (hour_of_day as f64 - c.peak_hour as f64) / 24.0 * std::f64::consts::TAU;
+            let phase = (hour_of_day as f64 - c.peak_hour as f64) / 24.0 * std::f64::consts::TAU;
             let diurnal = 1.0 + c.diurnal_amplitude * phase.cos();
             let weekly = c.day_of_week_factor[day_of_week];
             let growth = if hours > 1 {

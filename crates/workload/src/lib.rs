@@ -39,9 +39,7 @@ pub mod weather;
 pub use background::BackgroundDemand;
 pub use budgeter::Budgeter;
 pub use generator::{FlashCrowd, TraceConfig, TraceGenerator};
-pub use predictor::{
-    mape, EwmaSeasonalPredictor, HourOfWeekPredictor, NaivePredictor, Predictor,
-};
+pub use predictor::{mape, EwmaSeasonalPredictor, HourOfWeekPredictor, NaivePredictor, Predictor};
 pub use split::CustomerSplit;
-pub use weather::{EconomizerCurve, TemperatureModel};
 pub use trace::{HourlyTrace, HOURS_PER_WEEK};
+pub use weather::{EconomizerCurve, TemperatureModel};

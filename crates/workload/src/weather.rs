@@ -30,9 +30,9 @@ impl TemperatureModel {
     /// conditions).
     pub fn paper_location(location: usize, seed: u64) -> Self {
         let (mean_c, swing) = match location {
-            0 => (6.0, 4.0),   // cool site (best coe, matches coe 1.94)
-            1 => (16.0, 6.0),  // warm site (worst coe, matches coe 1.39)
-            2 => (11.0, 5.0),  // temperate site (coe 1.74)
+            0 => (6.0, 4.0),  // cool site (best coe, matches coe 1.94)
+            1 => (16.0, 6.0), // warm site (worst coe, matches coe 1.39)
+            2 => (11.0, 5.0), // temperate site (coe 1.74)
             _ => (10.0 + location as f64, 5.0),
         };
         Self {
@@ -135,10 +135,7 @@ mod tests {
         let b = TemperatureModel::paper_location(1, 1).generate(100);
         assert_ne!(a, b);
         assert!(a.mean() < b.mean(), "site 0 should be cooler");
-        assert_eq!(
-            TemperatureModel::paper_location(0, 1).generate(100),
-            a
-        );
+        assert_eq!(TemperatureModel::paper_location(0, 1).generate(100), a);
     }
 
     #[test]

@@ -18,8 +18,8 @@ fn main() {
         "budget", "premium tput", "ordinary tput", "cost", "cost/budget", "starved hours"
     );
     for budget in Scenario::BUDGET_LADDER {
-        let report = run_month(&scenario, Strategy::CostCapping, Some(budget))
-            .expect("month simulates");
+        let report =
+            run_month(&scenario, Strategy::CostCapping, Some(budget)).expect("month simulates");
         let starved = report
             .hours
             .iter()

@@ -17,7 +17,10 @@ use billcap::market::fivebus;
 fn main() {
     // ---- Part 1: LMP step policies from first principles ----------------
     println!("PJM five-bus LMP sweep (uniform load at consumers B, C, D):\n");
-    println!("{:>10}  {:>8}  {:>8}  {:>8}", "load (MW)", "LMP@B", "LMP@C", "LMP@D");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>8}",
+        "load (MW)", "LMP@B", "LMP@C", "LMP@D"
+    );
     let policies = fivebus::derive_policies(900.0, 50.0).expect("five-bus connected");
     let n = policies[0].1.len();
     for i in 0..n {

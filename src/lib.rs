@@ -19,6 +19,7 @@
 //! | [`workload`] | synthetic traces, background demand, the budgeter |
 //! | [`core`] | cost minimizer, throughput maximizer, bill capper, baselines |
 //! | [`sim`] | monthly simulation harness and per-figure experiments |
+//! | [`rt`] | deterministic RNG, worker pool, and bench harness (no external deps) |
 //!
 //! ## Quickstart
 //!
@@ -48,5 +49,6 @@ pub use billcap_market as market;
 pub use billcap_milp as milp;
 pub use billcap_power as power;
 pub use billcap_queueing as queueing;
+pub use billcap_rt as rt;
 pub use billcap_sim as sim;
 pub use billcap_workload as workload;

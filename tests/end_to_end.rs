@@ -3,8 +3,8 @@
 //! public `billcap` facade.
 
 use billcap::core::{
-    evaluate_allocation, BillCapper, CostMinimizer, DataCenterSpec, DataCenterSystem,
-    HourOutcome, MinOnly, PriceAssumption, ThroughputMaximizer,
+    evaluate_allocation, BillCapper, CostMinimizer, DataCenterSpec, DataCenterSystem, HourOutcome,
+    MinOnly, PriceAssumption, ThroughputMaximizer,
 };
 use billcap::market::{pjm_five_bus, OpfSolver, PricingPolicySet, StepPolicy};
 use billcap::power::{CoolingModel, DcPowerModel, FatTree, ServerModel, SwitchPower};

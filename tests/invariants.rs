@@ -1,132 +1,165 @@
-//! Property-based invariants across the whole stack: for random workloads
-//! and background demands, the algorithms must uphold the paper's
-//! contracts — optimality of capping over the baselines at realized
-//! prices, budget compliance of step 2, premium protection, and physical
-//! feasibility of every allocation.
+//! Randomized invariants across the whole stack: for seeded random
+//! workloads and background demands, the algorithms must uphold the
+//! paper's contracts — optimality of capping over the baselines at
+//! realized prices, budget compliance of step 2, premium protection, and
+//! physical feasibility of every allocation.
+//!
+//! Cases come from a seeded [`billcap::rt`] generator, so every run
+//! checks identical instances and failures reproduce deterministically.
 
 use billcap::core::{
     evaluate_allocation, BillCapper, CostMinimizer, DataCenterSystem, HourOutcome, MinOnly,
     PriceAssumption, ThroughputMaximizer,
 };
-use proptest::prelude::*;
+use billcap::rt::{Rng, Xoshiro256pp};
+
+// Each case runs one or more MILP solves; 32 cases per property keeps
+// the suite fast in debug builds while still sweeping the space.
+const CASES: usize = 32;
 
 fn system() -> DataCenterSystem {
     DataCenterSystem::paper_system(1)
 }
 
 /// Random per-site background demand in the policy-relevant band.
-fn background_strategy() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(150.0f64..650.0, 3)
+fn random_background(rng: &mut Xoshiro256pp) -> Vec<f64> {
+    (0..3).map(|_| rng.random_f64_in(150.0, 650.0)).collect()
 }
 
-/// Random workloads within deliverable capacity (the paper system carries
+/// Random workload within deliverable capacity (the paper system carries
 /// ~1.45e9 req/h).
-fn lambda_strategy() -> impl Strategy<Value = f64> {
-    1e6f64..1.3e9
+fn random_lambda(rng: &mut Xoshiro256pp) -> f64 {
+    rng.random_f64_in(1e6, 1.3e9)
 }
 
-proptest! {
-    // Each case runs one or more MILP solves; 32 cases per property keeps
-    // the suite fast in debug builds while still sweeping the space.
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Cost Capping is never beaten by either baseline at realized prices.
-    #[test]
-    fn capping_dominates_baselines(lambda in lambda_strategy(), d in background_strategy()) {
+/// Cost Capping is never beaten by either baseline at realized prices.
+#[test]
+fn capping_dominates_baselines() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAB1);
+    for case in 0..CASES {
+        let lambda = random_lambda(&mut rng);
+        let d = random_background(&mut rng);
         let sys = system();
         let capping = CostMinimizer::default().solve(&sys, lambda, &d).unwrap();
         let capping_real = evaluate_allocation(&sys, &capping.lambda, &d);
         for assumption in [PriceAssumption::Average, PriceAssumption::Lowest] {
             let mo = MinOnly::new(assumption).solve(&sys, lambda).unwrap();
             let mo_real = evaluate_allocation(&sys, &mo.lambda, &d);
-            prop_assert!(
+            assert!(
                 capping_real.total_cost <= mo_real.total_cost * (1.0 + 2e-3),
-                "{assumption:?}: capping {} > baseline {}",
-                capping_real.total_cost, mo_real.total_cost
+                "case {case} {assumption:?}: capping {} > baseline {}",
+                capping_real.total_cost,
+                mo_real.total_cost
             );
         }
     }
+}
 
-    /// Step-1 allocations are physically feasible: demand met, site power
-    /// caps respected, QoS server counts within inventory, and the MILP's
-    /// believed cost tracks the realized bill.
-    #[test]
-    fn minimizer_allocations_are_feasible(lambda in lambda_strategy(), d in background_strategy()) {
+/// Step-1 allocations are physically feasible: demand met, site power
+/// caps respected, QoS server counts within inventory, and the MILP's
+/// believed cost tracks the realized bill.
+#[test]
+fn minimizer_allocations_are_feasible() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAB2);
+    for case in 0..CASES {
+        let lambda = random_lambda(&mut rng);
+        let d = random_background(&mut rng);
         let sys = system();
         let alloc = CostMinimizer::default().solve(&sys, lambda, &d).unwrap();
-        prop_assert!((alloc.total_lambda - lambda).abs() <= 1.0 + 1e-9 * lambda);
+        assert!(
+            (alloc.total_lambda - lambda).abs() <= 1.0 + 1e-9 * lambda,
+            "case {case}"
+        );
         for (i, site) in sys.sites.iter().enumerate() {
-            prop_assert!(alloc.lambda[i] >= -1e-6);
-            prop_assert!(alloc.power_mw[i] <= site.power_cap_mw + 1e-6,
-                "site {i} power {} over cap", alloc.power_mw[i]);
-            prop_assert!(alloc.servers[i] <= site.max_servers);
+            assert!(alloc.lambda[i] >= -1e-6, "case {case}");
+            assert!(
+                alloc.power_mw[i] <= site.power_cap_mw + 1e-6,
+                "case {case}: site {i} power {} over cap",
+                alloc.power_mw[i]
+            );
+            assert!(alloc.servers[i] <= site.max_servers, "case {case}");
         }
         let real = evaluate_allocation(&sys, &alloc.lambda, &d);
         let rel = (real.total_cost - alloc.total_cost).abs() / alloc.total_cost.max(1.0);
-        prop_assert!(rel < 0.01, "believed-vs-real gap {rel}");
+        assert!(rel < 0.01, "case {case}: believed-vs-real gap {rel}");
     }
+}
 
-    /// Step 2 never exceeds its budget and is monotone: a bigger budget
-    /// never yields less throughput.
-    #[test]
-    fn maximizer_respects_and_uses_budget(
-        lambda in lambda_strategy(),
-        d in background_strategy(),
-        frac in 0.2f64..1.0,
-    ) {
+/// Step 2 never exceeds its budget and is monotone: a bigger budget
+/// never yields less throughput.
+#[test]
+fn maximizer_respects_and_uses_budget() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAB3);
+    for case in 0..CASES {
+        let lambda = random_lambda(&mut rng);
+        let d = random_background(&mut rng);
+        let frac = rng.random_f64_in(0.2, 1.0);
         let sys = system();
-        let min_cost = CostMinimizer::default().solve(&sys, lambda, &d).unwrap().total_cost;
+        let min_cost = CostMinimizer::default()
+            .solve(&sys, lambda, &d)
+            .unwrap()
+            .total_cost;
         let budget = frac * min_cost;
         let maximizer = ThroughputMaximizer::default();
         if let Ok(alloc) = maximizer.solve(&sys, lambda, &d, budget) {
-            prop_assert!(alloc.total_cost <= budget * (1.0 + 1e-6),
-                "cost {} over budget {budget}", alloc.total_cost);
-            prop_assert!(alloc.total_lambda <= lambda * (1.0 + 1e-9));
+            assert!(
+                alloc.total_cost <= budget * (1.0 + 1e-6),
+                "case {case}: cost {} over budget {budget}",
+                alloc.total_cost
+            );
+            assert!(alloc.total_lambda <= lambda * (1.0 + 1e-9), "case {case}");
             // Monotonicity in the budget.
             if let Ok(more) = maximizer.solve(&sys, lambda, &d, budget * 1.5) {
-                prop_assert!(more.total_lambda >= alloc.total_lambda - 1.0);
+                assert!(more.total_lambda >= alloc.total_lambda - 1.0, "case {case}");
             }
         }
     }
+}
 
-    /// The capper's three outcomes partition behaviour correctly for any
-    /// budget, and premium is always served in full.
-    #[test]
-    fn capper_protects_premium(
-        lambda in lambda_strategy(),
-        d in background_strategy(),
-        premium_frac in 0.1f64..0.95,
-        budget in 1.0f64..50_000.0,
-    ) {
+/// The capper's three outcomes partition behaviour correctly for any
+/// budget, and premium is always served in full.
+#[test]
+fn capper_protects_premium() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAB4);
+    for case in 0..CASES {
+        let lambda = random_lambda(&mut rng);
+        let d = random_background(&mut rng);
+        let premium_frac = rng.random_f64_in(0.1, 0.95);
+        let budget = rng.random_f64_in(1.0, 50_000.0);
         let sys = system();
         let premium = premium_frac * lambda;
         let decision = BillCapper::default()
             .decide_hour(&sys, lambda, premium, &d, budget)
             .unwrap();
-        prop_assert_eq!(decision.premium_served, premium);
-        prop_assert!(decision.ordinary_served <= lambda - premium + 1e-6);
+        assert_eq!(decision.premium_served, premium, "case {case}");
+        assert!(
+            decision.ordinary_served <= lambda - premium + 1e-6,
+            "case {case}"
+        );
         match decision.outcome {
             HourOutcome::WithinBudget | HourOutcome::Throttled => {
-                prop_assert!(decision.cost() <= budget * (1.0 + 1e-6));
+                assert!(decision.cost() <= budget * (1.0 + 1e-6), "case {case}");
             }
             HourOutcome::PremiumOverride => {
-                prop_assert_eq!(decision.ordinary_served, 0.0);
+                assert_eq!(decision.ordinary_served, 0.0, "case {case}");
             }
         }
     }
+}
 
-    /// Realized billing is monotone in the allocation: serving more at a
-    /// site cannot reduce that site's cost.
-    #[test]
-    fn realized_cost_monotone(
-        d in background_strategy(),
-        base in 1e6f64..2e8,
-        extra in 1e6f64..1e8,
-    ) {
+/// Realized billing is monotone in the allocation: serving more at a
+/// site cannot reduce that site's cost.
+#[test]
+fn realized_cost_monotone() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAB5);
+    for case in 0..CASES {
+        let d = random_background(&mut rng);
+        let base = rng.random_f64_in(1e6, 2e8);
+        let extra = rng.random_f64_in(1e6, 1e8);
         let sys = system();
         let small = evaluate_allocation(&sys, &[base, base, base], &d);
         let large = evaluate_allocation(&sys, &[base + extra, base, base], &d);
-        prop_assert!(large.cost[0] >= small.cost[0] - 1e-9);
-        prop_assert!(large.total_cost >= small.total_cost - 1e-9);
+        assert!(large.cost[0] >= small.cost[0] - 1e-9, "case {case}");
+        assert!(large.total_cost >= small.total_cost - 1e-9, "case {case}");
     }
 }

@@ -22,7 +22,10 @@ fn fig1_policies_step_upward_and_differ_by_location() {
         let last = series.last().unwrap().1;
         assert!(last > first, "{consumer:?}: prices did not rise");
         // At low load every bus prices at Brighton's $10 marginal cost.
-        assert!((first - 10.0).abs() < 0.5, "{consumer:?}: low-load LMP {first}");
+        assert!(
+            (first - 10.0).abs() < 0.5,
+            "{consumer:?}: low-load LMP {first}"
+        );
     }
     // Congestion must differentiate the buses somewhere in the sweep.
     let spread_exists = (0..f.series[0].1.len()).any(|i| {
@@ -77,12 +80,21 @@ fn fig4_policy_sweep_shapes() {
     }
     // Steeper policies cost more for every strategy.
     for s in 0..3 {
-        assert!(f.bills[2][s] > f.bills[1][s], "policy2 !> policy1 for strategy {s}");
-        assert!(f.bills[3][s] > f.bills[2][s], "policy3 !> policy2 for strategy {s}");
+        assert!(
+            f.bills[2][s] > f.bills[1][s],
+            "policy2 !> policy1 for strategy {s}"
+        );
+        assert!(
+            f.bills[3][s] > f.bills[2][s],
+            "policy3 !> policy2 for strategy {s}"
+        );
     }
     // The baselines suffer *more* from steeper policies than capping does.
     let penalty = |p: usize, s: usize| f.bills[p][s] / f.bills[1][s];
-    assert!(penalty(3, 2) > penalty(3, 0), "Low should degrade faster than capping");
+    assert!(
+        penalty(3, 2) > penalty(3, 0),
+        "Low should degrade faster than capping"
+    );
 }
 
 /// Figures 5/6: the abundant $2.5M budget serves everything and every
@@ -103,7 +115,10 @@ fn fig5_6_abundant_budget() {
         .collect();
     let max = budgets.iter().cloned().fold(f64::MIN, f64::max);
     let min = budgets.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(max > 2.0 * min, "carry-over growth not visible: {min}..{max}");
+    assert!(
+        max > 2.0 * min,
+        "carry-over growth not visible: {min}..{max}"
+    );
 }
 
 /// Figures 7/8: the stringent $1.5M budget trades ordinary throughput for
@@ -139,7 +154,10 @@ fn fig9_normalized_comparison() {
     let (capping_cost, capping_prem, _) = f.rows[0];
     let (avg_cost, _, avg_ord) = f.rows[1];
     let (low_cost, _, low_ord) = f.rows[2];
-    assert!(capping_cost <= 1.1, "capping {capping_cost} not near budget");
+    assert!(
+        capping_cost <= 1.1,
+        "capping {capping_cost} not near budget"
+    );
     assert!(avg_cost > 1.1, "Min-Only (Avg) should exceed the budget");
     assert!(low_cost > avg_cost, "Low should exceed Avg");
     assert!((capping_prem - 1.0).abs() < 1e-9);
@@ -163,9 +181,15 @@ fn fig10_budget_ladder() {
         prev = ord;
     }
     let top = f.rows.last().unwrap();
-    assert!((top.2 - 1.0).abs() < 1e-6, "top budget should serve everything");
+    assert!(
+        (top.2 - 1.0).abs() < 1e-6,
+        "top budget should serve everything"
+    );
     let bottom = f.rows.first().unwrap();
-    assert!(bottom.2 < 0.5, "bottom budget should shed most ordinary traffic");
+    assert!(
+        bottom.2 < 0.5,
+        "bottom budget should shed most ordinary traffic"
+    );
 }
 
 /// Section IV-C: solve times stay in the paper's reported regime
