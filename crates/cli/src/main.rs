@@ -14,10 +14,10 @@
 mod args;
 
 use args::{ArgError, Args};
-use billcap_core::{BillCapper, DataCenterSystem, HourOutcome};
+use billcap_core::{audit_env_enabled, BillCapper, DataCenterSystem, HourOutcome, PlanAuditor};
 use billcap_milp::{parse_lp, MipSolver};
 use billcap_sim::export::monthly_report_csv;
-use billcap_sim::{run_month, Scenario, Strategy};
+use billcap_sim::{run_month_with, Scenario, Strategy};
 use billcap_workload::{BackgroundDemand, TemperatureModel, TraceConfig, TraceGenerator};
 use std::process::ExitCode;
 
@@ -27,13 +27,20 @@ billcap — electricity bill capping for cloud-scale data centers
 
 USAGE:
   billcap decide-hour --offered R --premium-frac F --budget D
-          [--background MW,MW,MW] [--policy 0..3]
+          [--background MW,MW,MW] [--policy 0..3] [--audit]
       Decide one hour's workload dispatch for the paper's 3-site system.
+      With --audit, re-verify the plan against the paper's invariants
+      (power caps, G/G/m response time, step-price level, budget rules)
+      and fail if any are violated.
 
   billcap simulate-month --strategy capping|min-only-avg|min-only-low
-          [--budget DOLLARS] [--policy 0..3] [--seed N] [--csv FILE] [--quiet]
+          [--budget DOLLARS] [--policy 0..3] [--seed N] [--csv FILE]
+          [--quiet] [--audit]
       Simulate the evaluation month and print the summary
-      (optionally dumping the hourly series as CSV).
+      (optionally dumping the hourly series as CSV). With --audit, every
+      capping hour is re-verified and the audit tally is reported.
+      Setting BILLCAP_AUDIT=1 additionally certifies each MILP solve
+      (feasibility, integrality, dual bounds) inside the optimizers.
 
   billcap derive-policies [--max-load MW] [--step MW]
       Derive the locational step pricing policies from the PJM
@@ -138,6 +145,13 @@ fn decide_hour(args: &Args) -> Result<(), ArgError> {
         );
     }
     println!("hour cost ${:.2} vs budget ${budget:.2}", decision.cost());
+    if args.has("audit") {
+        let report = PlanAuditor::default().audit_decision(&system, &decision, &background);
+        println!("audit: {report}");
+        if !report.passed() {
+            return Err(ArgError(format!("plan audit failed: {report}")));
+        }
+    }
     Ok(())
 }
 
@@ -160,8 +174,10 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
         ),
         None => None,
     };
+    let audit = args.has("audit") || audit_env_enabled();
     let scenario = Scenario::paper_default(policy_arg(args)?, seed);
-    let report = run_month(&scenario, strategy, budget).map_err(|e| ArgError(e.to_string()))?;
+    let report =
+        run_month_with(&scenario, strategy, budget, audit).map_err(|e| ArgError(e.to_string()))?;
     if args.has("quiet") {
         // Machine-friendly single line: cost, premium tput, ordinary tput.
         println!(
@@ -173,6 +189,12 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
         if let Some(path) = args.get("csv") {
             std::fs::write(path, monthly_report_csv(&report))
                 .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+        }
+        if let Some((hour, a)) = report.first_audit_failure() {
+            return Err(ArgError(format!(
+                "plan audit failed at hour {hour}: {}",
+                a.failures.join("; ")
+            )));
         }
         return Ok(());
     }
@@ -195,6 +217,20 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
         std::fs::write(path, monthly_report_csv(&report))
             .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
         println!("hourly series written to {path}");
+    }
+    if audit {
+        let audited = report.audited_hours();
+        let failures = report.audit_failures();
+        println!(
+            "audit: {}/{audited} audited hours passed",
+            audited - failures
+        );
+        if let Some((hour, a)) = report.first_audit_failure() {
+            return Err(ArgError(format!(
+                "plan audit failed at hour {hour}: {}",
+                a.failures.join("; ")
+            )));
+        }
     }
     Ok(())
 }
@@ -287,6 +323,16 @@ mod tests {
     #[test]
     fn decide_hour_happy_path() {
         assert!(run_str("decide-hour --offered 6e8 --premium-frac 0.8 --budget 1e9").is_ok());
+    }
+
+    #[test]
+    fn decide_hour_audited() {
+        assert!(
+            run_str("decide-hour --offered 6e8 --premium-frac 0.8 --budget 1e9 --audit").is_ok()
+        );
+        // A starvation budget takes the premium-override branch; the audit
+        // must accept the sanctioned overrun.
+        assert!(run_str("decide-hour --offered 6e8 --premium-frac 0.8 --budget 1 --audit").is_ok());
     }
 
     #[test]

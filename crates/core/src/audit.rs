@@ -1,0 +1,696 @@
+//! First-principles audit of capper output (the paper's invariants).
+//!
+//! [`crate::BillCapper`] promises a lot: every site stays under its power
+//! cap, response times meet the G/G/m target, the billed price level is
+//! the one the actual regional load lands in, budgets hold except for the
+//! premium-overrun hour, and premium traffic is never shed. All of that
+//! is currently enforced *inside* the MILP — so a formulation bug would
+//! produce confidently wrong plans with nothing to catch them.
+//!
+//! [`PlanAuditor`] re-derives each invariant without the MILP:
+//!
+//! * **Power caps** — `p_i ≤ Ps_i` straight from the spec.
+//! * **Response time** — an independent Allen–Cunneen recomputation at
+//!   the *integer* server counts the local optimizer would start.
+//! * **Power identity** — `p_i` agrees with the site's affine power model
+//!   at `λ_i` (a made-up power split cannot certify).
+//! * **Step pricing** — the binary-selected level's price matches the
+//!   policy, and the actual load `p_i + d_i` lies inside that level
+//!   (up to the formulation's deliberate breakpoint margin).
+//! * **Cost arithmetic** — `cost_i = price_i · p_i` and the totals add up.
+//! * **Decision invariants** — premium always served, served ≤ offered,
+//!   conservation between the allocation and the served split, and
+//!   budget compliance with the [`HourOutcome::PremiumOverride`]
+//!   exception.
+//!
+//! Companion to [`billcap_milp::certify_solution`], which checks the
+//! *solver's* arithmetic; this module checks the *formulation* against
+//! the paper. Both are wired into solves and the sim runner behind the
+//! `BILLCAP_AUDIT` env var / `--audit` CLI flag.
+
+use crate::capper::{HourDecision, HourOutcome};
+use crate::error::CoreError;
+use crate::minimize::{Allocation, BREAKPOINT_MARGIN_MW};
+use crate::spec::DataCenterSystem;
+use billcap_milp::{certify_solution, Model, Solution};
+use std::fmt;
+
+/// True when the `BILLCAP_AUDIT` environment variable asks for auditing
+/// (any non-empty value other than `0`). Tests set it to exercise the
+/// certification layer on every solve; the CLI `--audit` flag forces it.
+pub fn audit_env_enabled() -> bool {
+    std::env::var("BILLCAP_AUDIT").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Certifies a MILP solution when [`audit_env_enabled`], turning a failed
+/// certificate into a hard [`CoreError::Audit`]: a solve whose arithmetic
+/// cannot be verified must not become a dispatch plan.
+pub(crate) fn certify_if_enabled(model: &Model, sol: &Solution) -> Result<(), CoreError> {
+    if audit_env_enabled() {
+        let report = certify_solution(model, sol);
+        if !report.certified() {
+            return Err(CoreError::Audit(format!(
+                "solve '{}' failed certification: {report}",
+                model.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// One violated paper invariant found by the [`PlanAuditor`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanViolation {
+    /// A per-site vector has the wrong length.
+    Dimension {
+        what: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A reported quantity is NaN/infinite or negative where it cannot be.
+    BadValue { what: String, value: f64 },
+    /// Site power exceeds the supplier-imposed cap `Ps_i`.
+    PowerCap {
+        site: usize,
+        power_mw: f64,
+        cap_mw: f64,
+    },
+    /// The reported power disagrees with the site's power model at `λ_i`.
+    PowerIdentity {
+        site: usize,
+        reported_mw: f64,
+        expected_mw: f64,
+    },
+    /// Allen–Cunneen response time at the started servers misses `Rs_i`.
+    ResponseTime {
+        site: usize,
+        response: f64,
+        target: f64,
+    },
+    /// More servers than the site hosts.
+    ServerInventory {
+        site: usize,
+        servers: u64,
+        max_servers: u64,
+    },
+    /// The reported price level index does not exist in the policy.
+    UnknownLevel { site: usize, level: usize },
+    /// The reported price is not the policy's price for the reported level.
+    PriceValue {
+        site: usize,
+        level: usize,
+        reported: f64,
+        expected: f64,
+    },
+    /// The actual regional load `p_i + d_i` lies outside the reported level.
+    PriceLevel {
+        site: usize,
+        level: usize,
+        load_mw: f64,
+        lo_mw: f64,
+        hi_mw: f64,
+    },
+    /// `cost_i != price_i * p_i`, or the totals do not add up.
+    CostArithmetic {
+        what: String,
+        reported: f64,
+        expected: f64,
+    },
+    /// Premium traffic was shed — never allowed by the paper.
+    PremiumShed { offered: f64, served: f64 },
+    /// Served traffic exceeds what was offered.
+    OverAdmission { served: f64, offered: f64 },
+    /// The allocation's admitted rate disagrees with the served split.
+    Conservation { allocated: f64, served: f64 },
+    /// Cost exceeds the hour's budget outside the premium-override hour.
+    BudgetExceeded {
+        cost: f64,
+        budget: f64,
+        outcome: HourOutcome,
+    },
+    /// A within-budget hour failed to serve the full offered load.
+    UnderServed { offered: f64, served: f64 },
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanViolation::Dimension {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} has length {got}, expected {expected}"),
+            PlanViolation::BadValue { what, value } => write!(f, "{what} = {value} is invalid"),
+            PlanViolation::PowerCap {
+                site,
+                power_mw,
+                cap_mw,
+            } => write!(f, "site {site}: power {power_mw} MW exceeds cap {cap_mw} MW"),
+            PlanViolation::PowerIdentity {
+                site,
+                reported_mw,
+                expected_mw,
+            } => write!(
+                f,
+                "site {site}: reported power {reported_mw} MW but the power model gives {expected_mw} MW"
+            ),
+            PlanViolation::ResponseTime {
+                site,
+                response,
+                target,
+            } => write!(
+                f,
+                "site {site}: response time {response:.3e} h exceeds target {target:.3e} h"
+            ),
+            PlanViolation::ServerInventory {
+                site,
+                servers,
+                max_servers,
+            } => write!(f, "site {site}: {servers} servers > inventory {max_servers}"),
+            PlanViolation::UnknownLevel { site, level } => {
+                write!(f, "site {site}: price level {level} does not exist")
+            }
+            PlanViolation::PriceValue {
+                site,
+                level,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "site {site}: reported price {reported} but level {level} costs {expected}"
+            ),
+            PlanViolation::PriceLevel {
+                site,
+                level,
+                load_mw,
+                lo_mw,
+                hi_mw,
+            } => write!(
+                f,
+                "site {site}: load {load_mw} MW outside level {level} [{lo_mw}, {hi_mw}) MW"
+            ),
+            PlanViolation::CostArithmetic {
+                what,
+                reported,
+                expected,
+            } => write!(f, "{what}: reported {reported} but recomputed {expected}"),
+            PlanViolation::PremiumShed { offered, served } => write!(
+                f,
+                "premium shed: {served} of {offered} req/h served"
+            ),
+            PlanViolation::OverAdmission { served, offered } => {
+                write!(f, "served {served} req/h exceeds offered {offered} req/h")
+            }
+            PlanViolation::Conservation { allocated, served } => write!(
+                f,
+                "allocation admits {allocated} req/h but the served split sums to {served} req/h"
+            ),
+            PlanViolation::BudgetExceeded {
+                cost,
+                budget,
+                outcome,
+            } => write!(
+                f,
+                "cost {cost} exceeds budget {budget} under outcome {outcome:?}"
+            ),
+            PlanViolation::UnderServed { offered, served } => write!(
+                f,
+                "within-budget hour served {served} of {offered} req/h"
+            ),
+        }
+    }
+}
+
+/// The outcome of auditing an allocation or an hour decision.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditReport {
+    /// Every violated invariant.
+    pub violations: Vec<PlanViolation>,
+    /// Number of individual invariant checks performed.
+    pub checks: usize,
+}
+
+impl AuditReport {
+    /// True when every checked invariant holds.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn check(&mut self, ok: bool, v: impl FnOnce() -> PlanViolation) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(v());
+        }
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.passed() {
+            return write!(f, "audit passed ({} checks)", self.checks);
+        }
+        write!(
+            f,
+            "{} of {} checks failed: ",
+            self.violations.len(),
+            self.checks
+        )?;
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Audits capper output against the paper's invariants, recomputed from
+/// first principles (no MILP involved). See the module docs for the list.
+#[derive(Debug, Clone)]
+pub struct PlanAuditor {
+    /// Relative tolerance for cost/rate comparisons.
+    pub rel_tol: f64,
+    /// Relative tolerance for the affine-power identity. Looser than
+    /// `rel_tol`: the integral-server mode's ceil rounding moves power by
+    /// up to one server's worth.
+    pub power_rel_tol: f64,
+    /// Slack (MW) allowed around a price level's interval. Must cover the
+    /// formulation's deliberate [`BREAKPOINT_MARGIN_MW`] plus the idle-site
+    /// widening (a site's base power, a few kW).
+    pub level_margin_mw: f64,
+    /// Relative slack on the response-time target.
+    pub qos_rel_tol: f64,
+}
+
+impl Default for PlanAuditor {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-6,
+            power_rel_tol: 5e-3,
+            level_margin_mw: 2.0 * BREAKPOINT_MARGIN_MW,
+            qos_rel_tol: 1e-9,
+        }
+    }
+}
+
+impl PlanAuditor {
+    /// Audits a single allocation (either optimizer's output) against the
+    /// per-site invariants: power caps, the power identity, Allen–Cunneen
+    /// response time, server inventory, step-pricing consistency and cost
+    /// arithmetic.
+    pub fn audit_allocation(
+        &self,
+        system: &DataCenterSystem,
+        alloc: &Allocation,
+        background_mw: &[f64],
+    ) -> AuditReport {
+        let mut report = AuditReport::default();
+        let n = system.len();
+        for (what, len) in [
+            ("lambda", alloc.lambda.len()),
+            ("servers", alloc.servers.len()),
+            ("power_mw", alloc.power_mw.len()),
+            ("price", alloc.price.len()),
+            ("level", alloc.level.len()),
+            ("cost", alloc.cost.len()),
+            ("background_mw", background_mw.len()),
+        ] {
+            report.check(len == n, || PlanViolation::Dimension {
+                what: what.to_string(),
+                expected: n,
+                got: len,
+            });
+        }
+        if !report.passed() {
+            return report; // per-site indexing would be meaningless
+        }
+
+        let mut total_cost = 0.0;
+        let mut total_lambda = 0.0;
+        for (i, site) in system.sites.iter().enumerate() {
+            let lam = alloc.lambda[i];
+            let p = alloc.power_mw[i];
+            let servers = alloc.servers[i];
+
+            report.check(lam.is_finite() && lam >= -self.rel_tol, || {
+                PlanViolation::BadValue {
+                    what: format!("site {i} lambda"),
+                    value: lam,
+                }
+            });
+            report.check(p.is_finite() && p >= -self.rel_tol, || {
+                PlanViolation::BadValue {
+                    what: format!("site {i} power"),
+                    value: p,
+                }
+            });
+            if !(lam.is_finite() && p.is_finite()) {
+                continue;
+            }
+
+            // Power cap p_i <= Ps_i.
+            let cap = site.power_cap_mw;
+            report.check(p <= cap * (1.0 + self.rel_tol) + 1e-6, || {
+                PlanViolation::PowerCap {
+                    site: i,
+                    power_mw: p,
+                    cap_mw: cap,
+                }
+            });
+
+            // Power identity: the reported power must come from the site's
+            // own power model at lam — a fabricated split cannot pass.
+            let expected_p = site.power_for_rate_mw(lam);
+            report.check(
+                (p - expected_p).abs() <= self.power_rel_tol * (1.0 + expected_p),
+                || PlanViolation::PowerIdentity {
+                    site: i,
+                    reported_mw: p,
+                    expected_mw: expected_p,
+                },
+            );
+
+            // Server inventory and the independent Allen–Cunneen check at
+            // the integer server count actually started.
+            report.check(servers <= site.max_servers, || {
+                PlanViolation::ServerInventory {
+                    site: i,
+                    servers,
+                    max_servers: site.max_servers,
+                }
+            });
+            let target = site.response_target;
+            report.check(
+                site.queue
+                    .meets_target(servers, lam, target * (1.0 + self.qos_rel_tol)),
+                || PlanViolation::ResponseTime {
+                    site: i,
+                    response: site
+                        .queue
+                        .response_time(servers, lam)
+                        .unwrap_or(f64::INFINITY),
+                    target,
+                },
+            );
+
+            // Step-pricing consistency: reported level exists, its price is
+            // the reported price, and the actual regional load lands in it.
+            let k = alloc.level[i];
+            let policy = system.policy(i);
+            match policy.levels().nth(k) {
+                None => report.check(false, || PlanViolation::UnknownLevel { site: i, level: k }),
+                Some((lo, hi, price)) => {
+                    report.check(
+                        (alloc.price[i] - price).abs() <= self.rel_tol * (1.0 + price),
+                        || PlanViolation::PriceValue {
+                            site: i,
+                            level: k,
+                            reported: alloc.price[i],
+                            expected: price,
+                        },
+                    );
+                    let load = p + background_mw[i];
+                    report.check(
+                        load >= lo - self.level_margin_mw && load <= hi + self.level_margin_mw,
+                        || PlanViolation::PriceLevel {
+                            site: i,
+                            level: k,
+                            load_mw: load,
+                            lo_mw: lo,
+                            hi_mw: hi,
+                        },
+                    );
+                }
+            }
+
+            // Cost arithmetic: cost_i = price_i * p_i.
+            let expected_cost = alloc.price[i] * p;
+            report.check(
+                (alloc.cost[i] - expected_cost).abs() <= self.rel_tol * (1.0 + expected_cost.abs()),
+                || PlanViolation::CostArithmetic {
+                    what: format!("site {i} cost"),
+                    reported: alloc.cost[i],
+                    expected: expected_cost,
+                },
+            );
+            total_cost += alloc.cost[i];
+            total_lambda += lam;
+        }
+
+        report.check(
+            (alloc.total_cost - total_cost).abs() <= self.rel_tol * (1.0 + total_cost.abs()),
+            || PlanViolation::CostArithmetic {
+                what: "total cost".to_string(),
+                reported: alloc.total_cost,
+                expected: total_cost,
+            },
+        );
+        report.check(
+            (alloc.total_lambda - total_lambda).abs() <= self.rel_tol * (1.0 + total_lambda),
+            || PlanViolation::CostArithmetic {
+                what: "total lambda".to_string(),
+                reported: alloc.total_lambda,
+                expected: total_lambda,
+            },
+        );
+        report
+    }
+
+    /// Audits a full hour decision: the underlying allocation plus the
+    /// decision-level invariants (premium-always-served, conservation,
+    /// admission, and budget compliance with the premium-overrun
+    /// exception).
+    pub fn audit_decision(
+        &self,
+        system: &DataCenterSystem,
+        decision: &HourDecision,
+        background_mw: &[f64],
+    ) -> AuditReport {
+        let mut report = self.audit_allocation(system, &decision.allocation, background_mw);
+
+        let served = decision.premium_served + decision.ordinary_served;
+        let rate_tol = self.rel_tol * (1.0 + decision.offered);
+
+        // Premium is never shed (the paper's revenue-protection rule).
+        report.check(
+            decision.premium_served >= decision.premium_offered - rate_tol,
+            || PlanViolation::PremiumShed {
+                offered: decision.premium_offered,
+                served: decision.premium_served,
+            },
+        );
+        // Cannot serve traffic nobody offered.
+        report.check(served <= decision.offered + rate_tol, || {
+            PlanViolation::OverAdmission {
+                served,
+                offered: decision.offered,
+            }
+        });
+        // The served split must be the allocation actually dispatched.
+        report.check(
+            (decision.allocation.total_lambda - served).abs() <= rate_tol,
+            || PlanViolation::Conservation {
+                allocated: decision.allocation.total_lambda,
+                served,
+            },
+        );
+        // Budget compliance, with the premium-override exception.
+        let cost = decision.cost();
+        let budget_ok = cost <= decision.budget * (1.0 + self.rel_tol) + self.rel_tol;
+        report.check(
+            budget_ok || decision.outcome == HourOutcome::PremiumOverride,
+            || PlanViolation::BudgetExceeded {
+                cost,
+                budget: decision.budget,
+                outcome: decision.outcome,
+            },
+        );
+        // A within-budget hour serves everything offered.
+        if decision.outcome == HourOutcome::WithinBudget {
+            report.check(served >= decision.offered - rate_tol, || {
+                PlanViolation::UnderServed {
+                    offered: decision.offered,
+                    served,
+                }
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capper::BillCapper;
+    use crate::minimize::CostMinimizer;
+    use crate::spec::DataCenterSystem;
+
+    fn background() -> Vec<f64> {
+        vec![330.0, 410.0, 280.0]
+    }
+
+    #[test]
+    fn genuine_allocation_passes() {
+        let sys = DataCenterSystem::paper_system(1);
+        let alloc = CostMinimizer::default()
+            .solve(&sys, 5e8, &background())
+            .unwrap();
+        let report = PlanAuditor::default().audit_allocation(&sys, &alloc, &background());
+        assert!(report.passed(), "{report}");
+        assert!(report.checks > 20);
+    }
+
+    #[test]
+    fn genuine_decisions_pass_across_outcomes() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let capper = BillCapper::default();
+        let auditor = PlanAuditor::default();
+        let offered = 8e8;
+        let premium = 0.8 * offered;
+        let full_cost = capper
+            .decide_hour(&sys, offered, premium, &d, f64::INFINITY)
+            .unwrap()
+            .cost();
+        for budget in [f64::INFINITY, 0.93 * full_cost, 1.0] {
+            let dec = capper
+                .decide_hour(&sys, offered, premium, &d, budget)
+                .unwrap();
+            let report = auditor.audit_decision(&sys, &dec, &d);
+            assert!(report.passed(), "budget {budget}: {report}");
+        }
+    }
+
+    #[test]
+    fn power_cap_violation_is_caught() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let alloc = CostMinimizer::default().solve(&sys, 5e8, &d).unwrap();
+        let mut bad = alloc.clone();
+        bad.power_mw[0] = sys.sites[0].power_cap_mw + 5.0;
+        let report = PlanAuditor::default().audit_allocation(&sys, &bad, &d);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::PowerCap { site: 0, .. })));
+    }
+
+    #[test]
+    fn wrong_price_level_is_caught() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let alloc = CostMinimizer::default().solve(&sys, 5e8, &d).unwrap();
+        let mut bad = alloc.clone();
+        // Claim a cheaper adjacent level without moving any power.
+        bad.level[0] = alloc.level[0].saturating_sub(1);
+        bad.price[0] = sys
+            .policy(0)
+            .levels()
+            .nth(bad.level[0])
+            .map(|(_, _, r)| r)
+            .unwrap();
+        bad.cost[0] = bad.price[0] * bad.power_mw[0];
+        bad.total_cost = bad.cost.iter().sum();
+        let report = PlanAuditor::default().audit_allocation(&sys, &bad, &d);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, PlanViolation::PriceLevel { site: 0, .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn qos_violation_is_caught() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let alloc = CostMinimizer::default().solve(&sys, 5e8, &d).unwrap();
+        let mut bad = alloc.clone();
+        // Pretend a loaded site runs on a skeleton crew.
+        let busiest = (0..sys.len())
+            .max_by(|&a, &b| bad.lambda[a].total_cmp(&bad.lambda[b]))
+            .unwrap();
+        bad.servers[busiest] = (bad.lambda[busiest] / sys.sites[busiest].queue.service_rate) as u64;
+        let report = PlanAuditor::default().audit_allocation(&sys, &bad, &d);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, PlanViolation::ResponseTime { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn fabricated_power_split_is_caught() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let alloc = CostMinimizer::default().solve(&sys, 5e8, &d).unwrap();
+        let mut bad = alloc.clone();
+        // Shift claimed power between sites while keeping rates: the
+        // affine power identity breaks at both ends.
+        bad.power_mw[0] += 10.0;
+        bad.power_mw[1] -= 10.0;
+        let report = PlanAuditor::default().audit_allocation(&sys, &bad, &d);
+        let identity_violations = report
+            .violations
+            .iter()
+            .filter(|v| matches!(v, PlanViolation::PowerIdentity { .. }))
+            .count();
+        assert!(identity_violations >= 2, "{report}");
+    }
+
+    #[test]
+    fn budget_bust_without_premium_exception_is_caught() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let capper = BillCapper::default();
+        let dec = capper
+            .decide_hour(&sys, 8e8, 0.8 * 8e8, &d, f64::INFINITY)
+            .unwrap();
+        let mut bad = dec.clone();
+        bad.budget = bad.cost() * 0.5; // claims WithinBudget while over it
+        let report = PlanAuditor::default().audit_decision(&sys, &bad, &d);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, PlanViolation::BudgetExceeded { .. })),
+            "{report}"
+        );
+
+        // The same overrun under PremiumOverride is the sanctioned
+        // exception and passes the budget check.
+        let genuine_override = capper.decide_hour(&sys, 8e8, 0.8 * 8e8, &d, 1.0).unwrap();
+        assert_eq!(genuine_override.outcome, HourOutcome::PremiumOverride);
+        let report = PlanAuditor::default().audit_decision(&sys, &genuine_override, &d);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn premium_shed_is_caught() {
+        let sys = DataCenterSystem::paper_system(1);
+        let d = background();
+        let dec = BillCapper::default()
+            .decide_hour(&sys, 8e8, 0.8 * 8e8, &d, f64::INFINITY)
+            .unwrap();
+        let mut bad = dec.clone();
+        bad.premium_served = 0.5 * bad.premium_offered;
+        let report = PlanAuditor::default().audit_decision(&sys, &bad, &d);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::PremiumShed { .. })));
+    }
+
+    #[test]
+    fn audit_env_flag_parses() {
+        // The variable is process-global, so instead of mutating it the
+        // test checks agreement with the documented rule for whatever
+        // value the environment currently holds.
+        let expected = std::env::var("BILLCAP_AUDIT").is_ok_and(|v| !v.is_empty() && v != "0");
+        assert_eq!(audit_env_enabled(), expected);
+    }
+}

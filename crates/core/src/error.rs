@@ -18,6 +18,9 @@ pub enum CoreError {
     Queueing(QueueingError),
     /// Mismatched input sizes (e.g. background-demand vector vs. sites).
     Dimension { expected: usize, got: usize },
+    /// A solve or plan failed independent certification (`BILLCAP_AUDIT` /
+    /// `--audit`); the message carries the violated invariants.
+    Audit(String),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +35,7 @@ impl fmt::Display for CoreError {
             CoreError::Dimension { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
+            CoreError::Audit(msg) => write!(f, "audit failed: {msg}"),
         }
     }
 }
@@ -63,5 +67,7 @@ mod tests {
         assert!(e.to_string().contains("exceeds"));
         let e: CoreError = SolveError::Infeasible.into();
         assert!(matches!(e, CoreError::Solver(_)));
+        let e = CoreError::Audit("dual bound lies".to_string());
+        assert!(e.to_string().contains("audit failed"));
     }
 }

@@ -26,6 +26,7 @@
 //! **[`evaluate_allocation`]** applies the *true* cost model to any
 //! allocation so that baseline decisions are billed at real market prices.
 
+pub mod audit;
 pub mod baselines;
 pub mod capper;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod minimize;
 pub mod priority;
 pub mod spec;
 
+pub use audit::{audit_env_enabled, AuditReport, PlanAuditor, PlanViolation};
 pub use baselines::{MinOnly, PriceAssumption};
 pub use capper::{BillCapper, CapperConfig, HourDecision, HourOutcome};
 pub use error::CoreError;

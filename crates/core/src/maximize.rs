@@ -62,6 +62,7 @@ impl ThroughputMaximizer {
         m.set_objective(vars.lam.iter().map(|&v| (v, 1.0)).collect(), 0.0);
 
         let sol = self.solver.solve(&m)?;
+        crate::audit::certify_if_enabled(&m, &sol)?;
         Ok(extract_allocation(system, &vars, &sol))
     }
 }

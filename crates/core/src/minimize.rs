@@ -216,7 +216,7 @@ pub(crate) fn extract_allocation(
             .sum();
         let &(k, r, _, _) = vars.levels[i]
             .iter()
-            .find(|&&(_, _, _, z)| sol.value(z) > 0.5)
+            .find(|&&(_, _, _, z)| sol.try_int_value(z) == Some(1))
             .expect("exactly one level is active");
         let c = r * p;
         lambda.push(lam);
@@ -294,6 +294,7 @@ impl CostMinimizer {
         m.set_objective(obj, 0.0);
 
         let sol = self.solver.solve(&m)?;
+        crate::audit::certify_if_enabled(&m, &sol)?;
         Ok(extract_allocation(system, &vars, &sol))
     }
 }

@@ -297,7 +297,11 @@ impl MipSolver {
             // Gap-based early stop (best-bound search keeps the frontier's
             // minimum as a valid global dual bound).
             if let (Some(inc), Some(fb)) = (&incumbent, frontier.best_bound()) {
-                let gap = (incumbent_key - fb).abs() / incumbent_key.abs().max(1.0);
+                // Pruned-but-unpopped nodes can leave the frontier minimum
+                // above the incumbent; the incumbent is itself a valid
+                // dual bound, so clamp before reporting.
+                let fb = fb.min(incumbent_key);
+                let gap = (incumbent_key - fb) / incumbent_key.abs().max(1.0);
                 if gap <= self.gap_tol {
                     let mut sol = inc.clone();
                     sol.iterations = lp_iterations;

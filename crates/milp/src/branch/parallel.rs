@@ -342,6 +342,9 @@ impl Shared<'_> {
             Some(Outcome::GapReached { bound_key }) => {
                 let (key, mut sol) = incumbent.expect("gap stop implies an incumbent");
                 sol.iterations = lp_iterations;
+                // A raced bound snapshot can momentarily pass the incumbent;
+                // the incumbent itself is always a valid dual bound, so clamp.
+                let bound_key = bound_key.min(key);
                 let gap = ((key - bound_key) / key.abs().max(1.0)).max(0.0);
                 sol.mip = Some(MipStats {
                     nodes,

@@ -1,0 +1,752 @@
+//! Solver-independent certification of LP/MILP solutions.
+//!
+//! The branch-and-bound solver is hand-rolled, and every bill-capping
+//! decision rests on it. This module re-derives, from the [`Model`] and a
+//! returned [`Solution`] alone, everything the solver *claims*:
+//!
+//! * **Primal feasibility** — variable bounds and every constraint row,
+//!   with the same magnitude-scaled tolerance the solver itself uses.
+//! * **Integrality** — integer/binary variables sit within
+//!   [`crate::INT_TOL`] of an integer.
+//! * **Objective honesty** — the reported objective equals the objective
+//!   re-evaluated at the returned point.
+//! * **Bound consistency** — the dual bound in [`MipStats::best_bound`]
+//!   lies on the correct side of the objective, and the reported
+//!   [`MipStats::gap`] matches the gap implied by objective and bound.
+//! * **Dual certificates** (LP solves) — sign conventions per constraint
+//!   sense, complementary slackness, dual feasibility of the implied
+//!   reduced costs, and weak/strong duality through the bounded-variable
+//!   dual objective.
+//!
+//! Nothing here calls the solver: a corrupted or stale solution cannot
+//! certify itself. The result is a structured [`CertifyReport`] listing
+//! each violated invariant with its slack magnitude, not a bare bool.
+//!
+//! [`MipStats::best_bound`]: crate::MipStats::best_bound
+//! [`MipStats::gap`]: crate::MipStats::gap
+
+use crate::model::{Constraint, ConstraintOp, Model, Sense, VarType};
+use crate::solution::{Solution, Status};
+use crate::INT_TOL;
+use std::fmt;
+
+/// Tolerances used by [`certify_solution_with`].
+///
+/// These are deliberately looser than the solver's internal `1e-9`
+/// working tolerance: certification asks "is this answer trustworthy",
+/// not "did the final pivot converge to machine precision".
+#[derive(Debug, Clone, Copy)]
+pub struct CertifyOptions {
+    /// Primal feasibility tolerance, scaled by row/bound magnitude.
+    pub tol: f64,
+    /// Integrality tolerance for integer/binary variables.
+    pub int_tol: f64,
+    /// Dual feasibility / complementary-slackness tolerance.
+    pub dual_tol: f64,
+    /// Slack allowed between the reported gap and the gap implied by
+    /// `objective` and `best_bound`.
+    pub gap_tol: f64,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-6,
+            int_tol: INT_TOL,
+            dual_tol: 1e-6,
+            gap_tol: 1e-6,
+        }
+    }
+}
+
+/// One violated invariant, with the magnitude of the violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// `values` has the wrong length for the model.
+    Dimension { expected: usize, got: usize },
+    /// A variable value (or the objective) is NaN/infinite.
+    NonFinite { what: String, value: f64 },
+    /// A variable sits outside its bounds by `slack`.
+    Bound {
+        var: usize,
+        name: String,
+        value: f64,
+        lb: f64,
+        ub: f64,
+        slack: f64,
+    },
+    /// An integer/binary variable is fractional by `distance`.
+    Integrality {
+        var: usize,
+        name: String,
+        value: f64,
+        distance: f64,
+    },
+    /// A constraint row is violated by `slack` (beyond tolerance).
+    Constraint {
+        index: usize,
+        name: String,
+        lhs: f64,
+        op: ConstraintOp,
+        rhs: f64,
+        slack: f64,
+    },
+    /// The reported objective differs from the objective re-evaluated at
+    /// the returned point.
+    Objective {
+        reported: f64,
+        recomputed: f64,
+        error: f64,
+    },
+    /// The dual bound lies on the wrong side of the objective
+    /// (a minimization bound above the objective, or vice versa).
+    BoundSide {
+        objective: f64,
+        best_bound: f64,
+        excess: f64,
+    },
+    /// The reported gap disagrees with `|objective - best_bound|`.
+    GapMismatch { reported: f64, implied: f64 },
+    /// A solution claiming optimality carries a non-trivial gap.
+    OptimalWithGap { gap: f64 },
+    /// The dual vector has the wrong length.
+    DualCount { expected: usize, got: usize },
+    /// A dual has the wrong sign for its constraint sense.
+    DualSign {
+        index: usize,
+        name: String,
+        dual: f64,
+    },
+    /// A nonzero dual on a slack (inactive) constraint.
+    ComplementarySlackness {
+        index: usize,
+        name: String,
+        dual: f64,
+        slack: f64,
+    },
+    /// The reduced cost implied by the duals has the wrong sign for the
+    /// variable's position against its bounds.
+    DualFeasibility {
+        var: usize,
+        name: String,
+        reduced_cost: f64,
+    },
+    /// Weak/strong duality fails: the dual objective reconstructed from
+    /// the duals does not match the primal objective.
+    Duality { primal: f64, dual: f64, error: f64 },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Dimension { expected, got } => {
+                write!(f, "solution has {got} values for {expected} variables")
+            }
+            Violation::NonFinite { what, value } => write!(f, "{what} is non-finite ({value})"),
+            Violation::Bound {
+                name,
+                value,
+                lb,
+                ub,
+                slack,
+                ..
+            } => write!(
+                f,
+                "variable '{name}' = {value} outside [{lb}, {ub}] by {slack:.3e}"
+            ),
+            Violation::Integrality {
+                name,
+                value,
+                distance,
+                ..
+            } => write!(
+                f,
+                "integer variable '{name}' = {value} is fractional by {distance:.3e}"
+            ),
+            Violation::Constraint {
+                name,
+                lhs,
+                op,
+                rhs,
+                slack,
+                ..
+            } => {
+                let sym = match op {
+                    ConstraintOp::Le => "<=",
+                    ConstraintOp::Ge => ">=",
+                    ConstraintOp::Eq => "==",
+                };
+                write!(
+                    f,
+                    "constraint '{name}': {lhs} {sym} {rhs} violated by {slack:.3e}"
+                )
+            }
+            Violation::Objective {
+                reported,
+                recomputed,
+                error,
+            } => write!(
+                f,
+                "objective reported {reported} but re-evaluates to {recomputed} (error {error:.3e})"
+            ),
+            Violation::BoundSide {
+                objective,
+                best_bound,
+                excess,
+            } => write!(
+                f,
+                "dual bound {best_bound} on the wrong side of objective {objective} by {excess:.3e}"
+            ),
+            Violation::GapMismatch { reported, implied } => {
+                write!(f, "reported gap {reported:.3e} vs implied {implied:.3e}")
+            }
+            Violation::OptimalWithGap { gap } => {
+                write!(f, "solution claims optimality with gap {gap:.3e}")
+            }
+            Violation::DualCount { expected, got } => {
+                write!(f, "{got} duals for {expected} constraints")
+            }
+            Violation::DualSign { name, dual, .. } => {
+                write!(f, "dual of constraint '{name}' has wrong sign ({dual})")
+            }
+            Violation::ComplementarySlackness {
+                name, dual, slack, ..
+            } => write!(
+                f,
+                "constraint '{name}' is slack by {slack:.3e} yet carries dual {dual}"
+            ),
+            Violation::DualFeasibility {
+                name, reduced_cost, ..
+            } => write!(
+                f,
+                "variable '{name}' has dual-infeasible reduced cost {reduced_cost:.3e}"
+            ),
+            Violation::Duality {
+                primal,
+                dual,
+                error,
+            } => write!(
+                f,
+                "duality gap: primal {primal} vs dual objective {dual} (error {error:.3e})"
+            ),
+        }
+    }
+}
+
+/// The outcome of certifying a solution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CertifyReport {
+    /// Every violated invariant, with slack magnitudes.
+    pub violations: Vec<Violation>,
+    /// Number of individual invariant checks performed.
+    pub checks: usize,
+}
+
+impl CertifyReport {
+    /// True when every checked invariant holds.
+    pub fn certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn fail(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    fn check(&mut self, ok: bool, v: impl FnOnce() -> Violation) {
+        self.checks += 1;
+        if !ok {
+            self.fail(v());
+        }
+    }
+}
+
+impl fmt::Display for CertifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.certified() {
+            return write!(f, "certified ({} checks)", self.checks);
+        }
+        write!(
+            f,
+            "{} of {} checks failed: ",
+            self.violations.len(),
+            self.checks
+        )?;
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a constraint row and its magnitude scale at a point.
+fn row_eval(c: &Constraint, values: &[f64]) -> (f64, f64) {
+    let mut lhs = 0.0;
+    let mut max_term = 0.0f64;
+    for &(v, coeff) in &c.terms {
+        let term = coeff * values[v.index()];
+        lhs += term;
+        max_term = max_term.max(term.abs());
+    }
+    (lhs, 1.0 + c.rhs.abs().max(max_term))
+}
+
+/// Certifies `sol` against `model` with default tolerances.
+pub fn certify_solution(model: &Model, sol: &Solution) -> CertifyReport {
+    certify_solution_with(model, sol, &CertifyOptions::default())
+}
+
+/// Certifies `sol` against `model`: primal feasibility, integrality,
+/// objective honesty, MIP bound consistency, and (when duals are present)
+/// the full dual certificate. See the module docs for the invariant list.
+pub fn certify_solution_with(
+    model: &Model,
+    sol: &Solution,
+    opts: &CertifyOptions,
+) -> CertifyReport {
+    let mut report = CertifyReport::default();
+    let n = model.num_vars();
+    report.check(sol.values.len() == n, || Violation::Dimension {
+        expected: n,
+        got: sol.values.len(),
+    });
+    if sol.values.len() != n {
+        return report; // nothing else is meaningful
+    }
+    report.check(sol.objective.is_finite(), || Violation::NonFinite {
+        what: "objective".to_string(),
+        value: sol.objective,
+    });
+
+    // --- primal feasibility: bounds and integrality ---
+    for (i, var) in model.variables().iter().enumerate() {
+        let x = sol.values[i];
+        report.check(x.is_finite(), || Violation::NonFinite {
+            what: format!("variable '{}'", var.name),
+            value: x,
+        });
+        if !x.is_finite() {
+            continue;
+        }
+        let bound_tol = opts.tol
+            * (1.0
+                + finite_or(var.lb, 0.0)
+                    .abs()
+                    .max(finite_or(var.ub, 0.0).abs()));
+        let slack = (var.lb - x).max(x - var.ub).max(0.0);
+        report.check(slack <= bound_tol, || Violation::Bound {
+            var: i,
+            name: var.name.clone(),
+            value: x,
+            lb: var.lb,
+            ub: var.ub,
+            slack,
+        });
+        if matches!(var.var_type, VarType::Integer | VarType::Binary) {
+            let distance = (x - x.round()).abs();
+            report.check(distance <= opts.int_tol, || Violation::Integrality {
+                var: i,
+                name: var.name.clone(),
+                value: x,
+                distance,
+            });
+        }
+    }
+
+    // --- primal feasibility: constraint rows ---
+    for (i, c) in model.constraints().iter().enumerate() {
+        let (lhs, scale) = row_eval(c, &sol.values);
+        let t = opts.tol * scale;
+        let slack = match c.op {
+            ConstraintOp::Le => lhs - c.rhs,
+            ConstraintOp::Ge => c.rhs - lhs,
+            ConstraintOp::Eq => (lhs - c.rhs).abs(),
+        };
+        report.check(slack <= t, || Violation::Constraint {
+            index: i,
+            name: c.name.clone(),
+            lhs,
+            op: c.op,
+            rhs: c.rhs,
+            slack,
+        });
+    }
+
+    // --- objective honesty ---
+    let recomputed = model.eval_objective(&sol.values);
+    let obj_err = (sol.objective - recomputed).abs();
+    report.check(obj_err <= opts.tol * (1.0 + recomputed.abs()), || {
+        Violation::Objective {
+            reported: sol.objective,
+            recomputed,
+            error: obj_err,
+        }
+    });
+
+    // --- MIP bound consistency ---
+    if let Some(stats) = sol.mip {
+        let scale = 1.0 + sol.objective.abs();
+        let excess = match model.sense {
+            Sense::Minimize => stats.best_bound - sol.objective,
+            Sense::Maximize => sol.objective - stats.best_bound,
+        };
+        // The dual bound may pass the objective only by float noise
+        // (plus the solver's own relative gap tolerance).
+        report.check(excess <= opts.tol * scale, || Violation::BoundSide {
+            objective: sol.objective,
+            best_bound: stats.best_bound,
+            excess,
+        });
+        let implied = stats.implied_gap(sol.objective);
+        report.check(
+            (stats.gap - implied).abs() <= opts.gap_tol || excess.abs() <= opts.tol * scale,
+            || Violation::GapMismatch {
+                reported: stats.gap,
+                implied,
+            },
+        );
+        if sol.status == Status::Optimal {
+            report.check(stats.gap <= opts.gap_tol, || Violation::OptimalWithGap {
+                gap: stats.gap,
+            });
+        }
+    }
+
+    // --- dual certificate (LP solves) ---
+    if let Some(duals) = &sol.duals {
+        audit_duals(model, sol, duals, opts, &mut report);
+    }
+
+    report
+}
+
+fn finite_or(x: f64, fallback: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        fallback
+    }
+}
+
+/// Audits an LP dual vector: sign conventions, complementary slackness,
+/// dual feasibility of reduced costs, and weak/strong duality.
+///
+/// Everything is done in *minimization space* (`key = sign * objective`):
+/// there a `<=` row's dual is non-positive, a `>=` row's non-negative,
+/// and the bounded-variable dual objective never exceeds the primal.
+fn audit_duals(
+    model: &Model,
+    sol: &Solution,
+    duals: &[f64],
+    opts: &CertifyOptions,
+    report: &mut CertifyReport,
+) {
+    let m = model.num_constraints();
+    report.check(duals.len() == m, || Violation::DualCount {
+        expected: m,
+        got: duals.len(),
+    });
+    if duals.len() != m {
+        return;
+    }
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    // Sign conventions and complementary slackness, row by row.
+    for (i, (c, &d)) in model.constraints().iter().zip(duals).enumerate() {
+        let y = sign * d; // dual in minimization space
+        let (lhs, scale) = row_eval(c, &sol.values);
+        let dual_tol = opts.dual_tol * (1.0 + y.abs());
+        let wrong_sign = match c.op {
+            ConstraintOp::Le => y > dual_tol,
+            ConstraintOp::Ge => y < -dual_tol,
+            ConstraintOp::Eq => false,
+        };
+        report.check(!wrong_sign, || Violation::DualSign {
+            index: i,
+            name: c.name.clone(),
+            dual: d,
+        });
+        if !matches!(c.op, ConstraintOp::Eq) {
+            let row_slack = (lhs - c.rhs).abs();
+            let active = row_slack <= opts.tol * scale;
+            report.check(y.abs() <= opts.dual_tol || active, || {
+                Violation::ComplementarySlackness {
+                    index: i,
+                    name: c.name.clone(),
+                    dual: d,
+                    slack: row_slack,
+                }
+            });
+        }
+    }
+
+    // Reduced costs in minimization space:
+    // rc_j = sign*c_j - sum_i y_i A_ij.
+    let mut rc: Vec<f64> = vec![0.0; model.num_vars()];
+    let mut rc_scale: Vec<f64> = vec![1.0; model.num_vars()];
+    for &(v, coeff) in model.objective() {
+        rc[v.index()] += sign * coeff;
+        rc_scale[v.index()] += coeff.abs();
+    }
+    for (c, &d) in model.constraints().iter().zip(duals) {
+        let y = sign * d;
+        for &(v, coeff) in &c.terms {
+            rc[v.index()] -= y * coeff;
+            rc_scale[v.index()] += (y * coeff).abs();
+        }
+    }
+
+    // Dual feasibility: the reduced cost must "push" the variable against
+    // the bound it sits at. Fixed variables (lb == ub) are exempt.
+    let mut dual_obj = sign * model.objective_constant();
+    for (c, &d) in model.constraints().iter().zip(duals) {
+        dual_obj += sign * d * c.rhs;
+    }
+    let mut dual_obj_ok = true;
+    for (j, var) in model.variables().iter().enumerate() {
+        let x = sol.values[j];
+        let bound_tol = opts.tol
+            * (1.0
+                + finite_or(var.lb, 0.0)
+                    .abs()
+                    .max(finite_or(var.ub, 0.0).abs()))
+            + opts.tol;
+        let at_lb = var.lb.is_finite() && x - var.lb <= bound_tol;
+        let at_ub = var.ub.is_finite() && var.ub - x <= bound_tol;
+        let t = opts.dual_tol * rc_scale[j];
+        let feasible = match (at_lb, at_ub) {
+            (true, true) => true, // (near-)fixed variable: any reduced cost
+            (true, false) => rc[j] >= -t,
+            (false, true) => rc[j] <= t,
+            (false, false) => rc[j].abs() <= t,
+        };
+        report.check(feasible, || Violation::DualFeasibility {
+            var: j,
+            name: var.name.clone(),
+            reduced_cost: rc[j],
+        });
+        // Bounded-variable dual objective: positive reduced costs bind at
+        // the lower bound, negative at the upper.
+        if rc[j] > t {
+            if var.lb.is_finite() {
+                dual_obj += rc[j] * var.lb;
+            } else {
+                dual_obj_ok = false;
+            }
+        } else if rc[j] < -t {
+            if var.ub.is_finite() {
+                dual_obj += rc[j] * var.ub;
+            } else {
+                dual_obj_ok = false;
+            }
+        } else {
+            // Near-zero reduced cost: absorb the float dust where the
+            // variable actually sits so noise cannot accumulate.
+            dual_obj += rc[j] * x;
+        }
+    }
+
+    // Weak + strong duality (minimization space): the dual objective is a
+    // lower bound on, and at optimality equals, the primal objective.
+    if dual_obj_ok {
+        let primal = sign * sol.objective;
+        let scale = 1.0 + primal.abs().max(dual_obj.abs());
+        let error = (primal - dual_obj).abs();
+        report.check(error <= opts.dual_tol * scale * 10.0, || {
+            Violation::Duality {
+                primal: sol.objective,
+                dual: sign * dual_obj,
+                error,
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::MipSolver;
+    use crate::model::{ConstraintOp, Model, Sense};
+    use crate::simplex::LpSolver;
+
+    fn knapsack() -> Model {
+        let mut m = Model::new("knap", Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(
+            "w",
+            vec![(a, 3.0), (b, 4.0), (c, 2.0)],
+            ConstraintOp::Le,
+            6.0,
+        );
+        m.set_objective(vec![(a, 10.0), (b, 13.0), (c, 7.0)], 0.0);
+        m
+    }
+
+    fn textbook_lp() -> Model {
+        // max 3x + 5y; x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let mut m = Model::new("lp", Sense::Maximize);
+        let x = m.add_cont("x", 0.0, f64::INFINITY);
+        let y = m.add_cont("y", 0.0, f64::INFINITY);
+        m.add_constraint("c1", vec![(x, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint("c2", vec![(y, 2.0)], ConstraintOp::Le, 12.0);
+        m.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        m.set_objective(vec![(x, 3.0), (y, 5.0)], 0.0);
+        m
+    }
+
+    #[test]
+    fn genuine_mip_solution_certifies() {
+        let m = knapsack();
+        let sol = MipSolver::default().solve(&m).unwrap();
+        let report = certify_solution(&m, &sol);
+        assert!(report.certified(), "{report}");
+        assert!(report.checks > 5);
+    }
+
+    #[test]
+    fn genuine_lp_solution_with_duals_certifies() {
+        let m = textbook_lp();
+        let sol = LpSolver::default().solve(&m).unwrap();
+        assert!(sol.duals.is_some());
+        let report = certify_solution(&m, &sol);
+        assert!(report.certified(), "{report}");
+    }
+
+    #[test]
+    fn minimize_lp_duals_certify() {
+        let mut m = Model::new("min", Sense::Minimize);
+        let x = m.add_cont("x", 0.0, f64::INFINITY);
+        let y = m.add_cont("y", 0.0, f64::INFINITY);
+        m.add_constraint("cover", vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0);
+        m.add_constraint("tie", vec![(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0);
+        m.set_objective(vec![(x, 2.0), (y, 3.0)], 5.0);
+        let sol = LpSolver::default().solve(&m).unwrap();
+        let report = certify_solution(&m, &sol);
+        assert!(report.certified(), "{report}");
+    }
+
+    #[test]
+    fn corrupted_value_breaks_constraint() {
+        let m = knapsack();
+        let mut sol = MipSolver::default().solve(&m).unwrap();
+        // Claim every item is taken: violates the knapsack row.
+        sol.values = vec![1.0, 1.0, 1.0];
+        let report = certify_solution(&m, &sol);
+        assert!(!report.certified());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Constraint { .. })));
+    }
+
+    #[test]
+    fn fractional_binary_is_rejected() {
+        let m = knapsack();
+        let mut sol = MipSolver::default().solve(&m).unwrap();
+        sol.values[0] = 0.5;
+        let report = certify_solution(&m, &sol);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Integrality { .. })));
+    }
+
+    #[test]
+    fn objective_lie_is_rejected() {
+        let m = knapsack();
+        let mut sol = MipSolver::default().solve(&m).unwrap();
+        sol.objective += 3.0;
+        let report = certify_solution(&m, &sol);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Objective { .. })));
+    }
+
+    #[test]
+    fn wrong_side_bound_is_rejected() {
+        let m = knapsack();
+        let mut sol = MipSolver::default().solve(&m).unwrap();
+        // A maximization dual bound below the incumbent is a lie.
+        let stats = sol.mip.as_mut().unwrap();
+        stats.best_bound = sol.objective - 5.0;
+        let report = certify_solution(&m, &sol);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BoundSide { .. })));
+    }
+
+    #[test]
+    fn gap_lie_is_rejected() {
+        let m = knapsack();
+        let mut sol = MipSolver::default().solve(&m).unwrap();
+        let stats = sol.mip.as_mut().unwrap();
+        stats.best_bound = sol.objective + 4.0; // bound claims slack remains
+        stats.gap = 0.0; // ... while the gap claims none
+        let report = certify_solution(&m, &sol);
+        assert!(!report.certified());
+    }
+
+    #[test]
+    fn stale_duals_are_rejected() {
+        // Duals taken from a *different* rhs violate complementary
+        // slackness / duality at the new optimum.
+        let m = textbook_lp();
+        let sol = LpSolver::default().solve(&m).unwrap();
+
+        let mut loosened = Model::new("lp2", Sense::Maximize);
+        let x = loosened.add_cont("x", 0.0, f64::INFINITY);
+        let y = loosened.add_cont("y", 0.0, f64::INFINITY);
+        loosened.add_constraint("c1", vec![(x, 1.0)], ConstraintOp::Le, 4.0);
+        loosened.add_constraint("c2", vec![(y, 2.0)], ConstraintOp::Le, 12.0);
+        loosened.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 30.0);
+        loosened.set_objective(vec![(x, 3.0), (y, 5.0)], 0.0);
+        let mut fresh = LpSolver::default().solve(&loosened).unwrap();
+        fresh.duals = sol.duals.clone(); // stale certificate
+        let report = certify_solution(&loosened, &fresh);
+        assert!(!report.certified(), "stale duals must not certify");
+    }
+
+    #[test]
+    fn wrong_dual_sign_is_rejected() {
+        let m = textbook_lp();
+        let mut sol = LpSolver::default().solve(&m).unwrap();
+        let duals = sol.duals.as_mut().unwrap();
+        duals[1] = -duals[1].max(1.0); // a maximization <= row dual must be >= 0
+        let report = certify_solution(&m, &sol);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DualSign { .. })));
+    }
+
+    #[test]
+    fn dimension_mismatch_short_circuits() {
+        let m = knapsack();
+        let mut sol = MipSolver::default().solve(&m).unwrap();
+        sol.values.pop();
+        let report = certify_solution(&m, &sol);
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(report.violations[0], Violation::Dimension { .. }));
+    }
+
+    #[test]
+    fn report_display_mentions_failures() {
+        let m = knapsack();
+        let mut sol = MipSolver::default().solve(&m).unwrap();
+        sol.values[1] = 7.0;
+        let report = certify_solution(&m, &sol);
+        let text = report.to_string();
+        assert!(text.contains("checks failed"), "{text}");
+        let ok = certify_solution(&m, &MipSolver::default().solve(&m).unwrap());
+        assert!(ok.to_string().starts_with("certified"));
+    }
+}

@@ -39,19 +39,25 @@
 //! ```
 
 pub mod branch;
+pub mod certify;
 pub mod error;
 pub mod expr;
 pub mod io;
 pub mod model;
+pub mod oracle;
 pub mod presolve;
 pub mod simplex;
 pub mod solution;
 
 pub use branch::{BranchRule, MipSolver, NodeSelection};
+pub use certify::{
+    certify_solution, certify_solution_with, CertifyOptions, CertifyReport, Violation,
+};
 pub use error::SolveError;
 pub use expr::LinExpr;
 pub use io::{parse_lp, write_lp};
 pub use model::{Constraint, ConstraintOp, Model, Sense, VarId, VarType, Variable};
+pub use oracle::{brute_force_solve, brute_force_solve_capped};
 pub use presolve::{presolve, PresolveResult};
 pub use simplex::{LpSolver, Pricing};
 pub use solution::{MipStats, Solution, Status};

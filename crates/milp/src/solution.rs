@@ -1,6 +1,7 @@
 //! Solver output types.
 
 use crate::model::VarId;
+use crate::INT_TOL;
 
 /// Quality of a returned solution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,15 @@ pub struct MipStats {
     pub best_bound: f64,
     /// Relative optimality gap `|obj - bound| / max(1, |obj|)`.
     pub gap: f64,
+}
+
+impl MipStats {
+    /// The gap implied by an objective value and [`MipStats::best_bound`],
+    /// using the same normalization as the reported [`MipStats::gap`].
+    /// Certification compares the two to catch stale or fabricated stats.
+    pub fn implied_gap(&self, objective: f64) -> f64 {
+        (objective - self.best_bound).abs() / objective.abs().max(1.0)
+    }
 }
 
 /// A primal solution to an LP or MILP.
@@ -53,8 +63,30 @@ impl Solution {
 
     /// Value of a variable rounded to the nearest integer — convenience for
     /// integer and binary variables whose LP values carry float noise.
+    ///
+    /// Debug builds assert the value is within [`INT_TOL`] of an integer;
+    /// silently rounding a genuinely fractional value would hide a solver
+    /// bug. Use [`Solution::try_int_value`] when the solution is untrusted.
     pub fn int_value(&self, v: VarId) -> i64 {
-        self.values[v.index()].round() as i64
+        let x = self.values[v.index()];
+        debug_assert!(
+            (x - x.round()).abs() <= INT_TOL,
+            "int_value on fractional value {x} (var #{})",
+            v.index()
+        );
+        x.round() as i64
+    }
+
+    /// Value of a variable as an integer, or `None` when it is farther than
+    /// [`INT_TOL`] from any integer (or non-finite). Auditors use this so a
+    /// fractional binary is reported instead of silently rounded.
+    pub fn try_int_value(&self, v: VarId) -> Option<i64> {
+        let x = self.values[v.index()];
+        if x.is_finite() && (x - x.round()).abs() <= INT_TOL {
+            Some(x.round() as i64)
+        } else {
+            None
+        }
     }
 }
 
@@ -74,5 +106,52 @@ mod tests {
         };
         assert_eq!(s.value(VarId(1)), 2.0);
         assert_eq!(s.int_value(VarId(0)), 1);
+    }
+
+    #[test]
+    fn try_int_value_accepts_near_integers_only() {
+        let s = Solution {
+            status: Status::Optimal,
+            objective: 0.0,
+            values: vec![0.999999999, 0.4, f64::NAN],
+            iterations: 0,
+            mip: None,
+            duals: None,
+        };
+        assert_eq!(s.try_int_value(VarId(0)), Some(1));
+        assert_eq!(s.try_int_value(VarId(1)), None);
+        assert_eq!(s.try_int_value(VarId(2)), None);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "fractional")]
+    fn int_value_debug_asserts_integrality() {
+        let s = Solution {
+            status: Status::Optimal,
+            objective: 0.0,
+            values: vec![0.4],
+            iterations: 0,
+            mip: None,
+            duals: None,
+        };
+        let _ = s.int_value(VarId(0));
+    }
+
+    #[test]
+    fn implied_gap_matches_definition() {
+        let stats = MipStats {
+            nodes: 1,
+            lp_iterations: 1,
+            best_bound: 90.0,
+            gap: 0.1,
+        };
+        assert!((stats.implied_gap(100.0) - 0.1).abs() < 1e-12);
+        // Small objectives normalize by 1, not by |obj|.
+        let small = MipStats {
+            best_bound: 0.90,
+            ..stats
+        };
+        assert!((small.implied_gap(0.95) - 0.05).abs() < 1e-12);
     }
 }

@@ -1,0 +1,213 @@
+//! Differential test suite: branch-and-bound vs the brute-force oracle.
+//!
+//! Seeded random small MILPs are solved three ways — by exhaustive
+//! enumeration ([`billcap_milp::brute_force_solve`]), by the sequential
+//! `MipSolver`, and by the parallel `MipSolver` at several thread counts.
+//! Every feasible answer must agree on the objective, parallel objectives
+//! must be *bitwise* equal to sequential ones, infeasibility verdicts must
+//! coincide, and every returned solution must pass the independent
+//! certificate checker. Instances reproduce exactly from the seed — no
+//! external fuzzing framework involved.
+
+use billcap_milp::{
+    brute_force_solve, certify_solution, ConstraintOp, MipSolver, Model, Sense, Solution,
+    SolveError, VarType,
+};
+use billcap_rt::{Rng, Xoshiro256pp};
+
+/// Number of seeded instances per suite (the acceptance bar is 200 across
+/// the suite; each of the two fuzz tests runs this many on its own).
+const CASES: usize = 220;
+
+/// Draws a random small MILP. Roughly half the instances are pure-integer
+/// (the oracle then never touches the simplex), the rest mix in bounded
+/// continuous variables; senses, operators and signs all vary. `Ge`/`Eq`
+/// rows make a fraction of instances infeasible on purpose.
+fn random_model(rng: &mut Xoshiro256pp, tag: usize) -> Model {
+    let sense = if rng.random::<bool>() {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
+    let mut m = Model::new(format!("diff_{tag}"), sense);
+    let n_bin = rng.random_usize_in(2, 5);
+    let n_int = rng.random_usize_in(0, 2);
+    let n_cont = rng.random_usize_in(0, 2);
+    let mut vars = Vec::new();
+    for j in 0..n_bin {
+        vars.push(m.add_binary(format!("b{j}")));
+    }
+    for j in 0..n_int {
+        let ub = rng.random_i64_in(1, 3) as f64;
+        vars.push(m.add_var(format!("k{j}"), VarType::Integer, 0.0, ub));
+    }
+    for j in 0..n_cont {
+        let ub = rng.random_f64_in(1.0, 6.0);
+        vars.push(m.add_cont(format!("x{j}"), 0.0, ub));
+    }
+    let rows = rng.random_usize_in(1, 4);
+    for r in 0..rows {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.random::<f64>() < 0.8 {
+                terms.push((v, rng.random_i64_in(-4, 6) as f64));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let op = match rng.random_below(10) {
+            0..=6 => ConstraintOp::Le,
+            7..=8 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        let rhs = match op {
+            // b >= 0-ish keeps a healthy share of Le-only instances feasible.
+            ConstraintOp::Le => rng.random_i64_in(0, 12) as f64,
+            ConstraintOp::Ge => rng.random_i64_in(-2, 6) as f64,
+            ConstraintOp::Eq => rng.random_i64_in(0, 4) as f64,
+        };
+        m.add_constraint(format!("r{r}"), terms, op, rhs);
+    }
+    let obj: Vec<_> = vars
+        .iter()
+        .map(|&v| (v, rng.random_i64_in(-5, 7) as f64))
+        .collect();
+    m.set_objective(obj, rng.random_i64_in(-3, 3) as f64);
+    m
+}
+
+fn solver(threads: usize) -> MipSolver {
+    MipSolver {
+        threads,
+        ..MipSolver::default()
+    }
+}
+
+fn assert_certified(m: &Model, sol: &Solution, what: &str, tag: usize) {
+    let report = certify_solution(m, sol);
+    assert!(
+        report.certified(),
+        "case {tag}: {what} solution failed certification: {report}"
+    );
+}
+
+/// Oracle vs sequential solver vs parallel solver over seeded instances.
+#[test]
+fn solver_matches_oracle_and_parallel_is_bitwise_equal() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xD1FF);
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+    for tag in 0..CASES {
+        let m = random_model(&mut rng, tag);
+        let oracle = brute_force_solve(&m);
+        let seq = solver(1).solve(&m);
+        match (&oracle, &seq) {
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {
+                infeasible += 1;
+            }
+            (Ok(o), Ok(s)) => {
+                feasible += 1;
+                let tol = 1e-6 * (1.0 + o.objective.abs());
+                assert!(
+                    (o.objective - s.objective).abs() <= tol,
+                    "case {tag}: oracle {} vs solver {}\n{m:?}",
+                    o.objective,
+                    s.objective
+                );
+                assert_certified(&m, o, "oracle", tag);
+                assert_certified(&m, s, "sequential", tag);
+                for threads in [2, 4] {
+                    let par = solver(threads)
+                        .solve(&m)
+                        .unwrap_or_else(|e| panic!("case {tag}: {threads} threads: {e}"));
+                    assert_eq!(
+                        s.objective.to_bits(),
+                        par.objective.to_bits(),
+                        "case {tag}: sequential {} vs {threads}-thread {} not bitwise equal",
+                        s.objective,
+                        par.objective
+                    );
+                    assert_certified(&m, &par, "parallel", tag);
+                }
+            }
+            (o, s) => panic!(
+                "case {tag}: oracle and solver disagree on feasibility: {o:?} vs {s:?}\n{m:?}"
+            ),
+        }
+    }
+    // The generator must exercise both verdicts, and mostly feasible ones.
+    assert!(
+        feasible >= CASES / 2,
+        "only {feasible}/{CASES} instances feasible"
+    );
+    assert!(infeasible > 0, "no infeasible instances generated");
+}
+
+/// Pure-binary knapsack-style instances hit the oracle's no-simplex path
+/// and stress tie-breaking: many optima share the objective value.
+#[test]
+fn pure_binary_instances_agree_with_oracle() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xBEEF);
+    for tag in 0..CASES {
+        let mut m = Model::new(format!("knap_{tag}"), Sense::Maximize);
+        let n = rng.random_usize_in(3, 8);
+        let items: Vec<_> = (0..n).map(|j| m.add_binary(format!("b{j}"))).collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.random_i64_in(1, 9) as f64).collect();
+        let cap = rng.random_i64_in(3, 20) as f64;
+        m.add_constraint(
+            "w",
+            items.iter().copied().zip(weights).collect(),
+            ConstraintOp::Le,
+            cap,
+        );
+        m.set_objective(
+            items
+                .iter()
+                .map(|&v| (v, rng.random_i64_in(0, 10) as f64))
+                .collect(),
+            0.0,
+        );
+        let oracle = brute_force_solve(&m).expect("x = 0 is always feasible");
+        let sol = solver(1).solve(&m).expect("x = 0 is always feasible");
+        assert!(
+            (oracle.objective - sol.objective).abs() <= 1e-9 * (1.0 + oracle.objective.abs()),
+            "case {tag}: oracle {} vs solver {}",
+            oracle.objective,
+            sol.objective
+        );
+        assert_certified(&m, &sol, "solver", tag);
+        let par = solver(2).solve(&m).unwrap();
+        assert_eq!(sol.objective.to_bits(), par.objective.to_bits());
+    }
+}
+
+/// The certifier must reject what the solver never produced: a corrupted
+/// incumbent smuggled into an otherwise-genuine solution.
+#[test]
+fn certifier_rejects_cross_instance_solutions() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAFE);
+    let mut rejected = 0usize;
+    let mut attempts = 0usize;
+    for tag in 0..40 {
+        let a = random_model(&mut rng, 1000 + tag);
+        let b = random_model(&mut rng, 2000 + tag);
+        let (Ok(sa), Ok(sb)) = (solver(1).solve(&a), solver(1).solve(&b)) else {
+            continue;
+        };
+        if sa.values.len() != sb.values.len() || sa.objective.to_bits() == sb.objective.to_bits() {
+            continue;
+        }
+        // Same dimension, different optimum: b's solution claimed for a
+        // must trip at least one certificate check.
+        attempts += 1;
+        if !certify_solution(&a, &sb).certified() {
+            rejected += 1;
+        }
+    }
+    assert!(attempts >= 5, "generator produced too few comparable pairs");
+    assert!(
+        rejected * 10 >= attempts * 9,
+        "only {rejected}/{attempts} foreign solutions rejected"
+    );
+}

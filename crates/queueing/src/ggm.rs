@@ -168,6 +168,15 @@ impl GgmModel {
         Ok(self.variability() / (self.service_rate * slack))
     }
 
+    /// True when `servers` meet the mean response-time `target` at arrival
+    /// rate `lambda`, treating an unstable system (`λ ≥ nμ`) as a miss.
+    /// This is the audit layer's QoS primitive: a plan whose server count
+    /// cannot even stabilize the queue must not pass on a technicality.
+    pub fn meets_target(&self, servers: u64, lambda: f64, target: f64) -> bool {
+        self.response_time(servers, lambda)
+            .is_ok_and(|r| r <= target)
+    }
+
     /// Maximum arrival rate `n` servers can carry while meeting `target`:
     /// the inverse of [`GgmModel::servers_fractional`],
     /// `λ_max = nμ − K/(Rs − 1/μ)` (clamped at zero).
@@ -251,6 +260,20 @@ mod tests {
         let m = model();
         let err = m.min_servers(1000.0, m.service_time());
         assert!(matches!(err, Err(QueueingError::UnreachableTarget { .. })));
+    }
+
+    #[test]
+    fn meets_target_bounds_min_servers() {
+        let m = model();
+        let target = 2.0 * m.service_time();
+        let lambda = 123_456.0;
+        let n = m.min_servers(lambda, target).unwrap();
+        assert!(m.meets_target(n, lambda, target));
+        assert!(!m.meets_target(n.saturating_sub(1), lambda, target));
+        // An unstable configuration is a miss, not an error.
+        assert!(!m.meets_target(1, lambda, target));
+        // A zero-load site meets any target above the bare service time.
+        assert!(m.meets_target(1, 0.0, target));
     }
 
     #[test]

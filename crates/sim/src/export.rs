@@ -122,6 +122,7 @@ mod tests {
                 lambda: vec![],
                 power_mw: vec![],
                 price: vec![],
+                audit: None,
             }],
         };
         let csv = monthly_report_csv(&r);

@@ -1,6 +1,32 @@
 //! Per-hour records and monthly aggregates.
 
-use billcap_core::HourOutcome;
+use billcap_core::{AuditReport, HourOutcome};
+
+/// Outcome of the per-hour plan audit, kept as plain data so records stay
+/// cheap to clone and compare. `None` on an [`HourRecord`] means the hour
+/// was not audited (baselines, or auditing off).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourAudit {
+    /// Number of invariant checks performed.
+    pub checks: usize,
+    /// Violated invariants, rendered for reporting (empty = passed).
+    pub failures: Vec<String>,
+}
+
+impl HourAudit {
+    /// Flattens a [`PlanAuditor`](billcap_core::PlanAuditor) report.
+    pub fn from_report(report: &AuditReport) -> Self {
+        Self {
+            checks: report.checks,
+            failures: report.violations.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+
+    /// True when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
 
 /// What happened in one simulated hour.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +53,8 @@ pub struct HourRecord {
     pub power_mw: Vec<f64>,
     /// Per-site realized price ($/MWh).
     pub price: Vec<f64>,
+    /// Plan-audit outcome for the hour (`None` when not audited).
+    pub audit: Option<HourAudit>,
 }
 
 impl HourRecord {
@@ -104,6 +132,35 @@ impl MonthlyReport {
     pub fn hourly_costs(&self) -> Vec<f64> {
         self.hours.iter().map(|h| h.realized_cost).collect()
     }
+
+    /// Hours that carried a plan audit.
+    pub fn audited_hours(&self) -> usize {
+        self.hours.iter().filter(|h| h.audit.is_some()).count()
+    }
+
+    /// Audited hours whose plan violated at least one invariant.
+    pub fn audit_failures(&self) -> usize {
+        self.hours
+            .iter()
+            .filter(|h| h.audit.as_ref().is_some_and(|a| !a.passed()))
+            .count()
+    }
+
+    /// The first failing hour and its violations, for diagnostics.
+    pub fn first_audit_failure(&self) -> Option<(usize, &HourAudit)> {
+        self.hours.iter().find_map(|h| {
+            h.audit
+                .as_ref()
+                .filter(|a| !a.passed())
+                .map(|a| (h.hour, a))
+        })
+    }
+
+    /// True when every audited hour passed (vacuously true when nothing
+    /// was audited — check [`MonthlyReport::audited_hours`] separately).
+    pub fn audit_clean(&self) -> bool {
+        self.audit_failures() == 0
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +182,7 @@ mod tests {
             lambda: vec![],
             power_mw: vec![],
             price: vec![],
+            audit: None,
         }
     }
 
@@ -175,5 +233,32 @@ mod tests {
         };
         assert_eq!(r.premium_throughput(), 1.0);
         assert_eq!(r.ordinary_throughput(), 1.0);
+    }
+
+    #[test]
+    fn audit_aggregates() {
+        let mut pass = record(10.0, None);
+        pass.audit = Some(HourAudit {
+            checks: 30,
+            failures: vec![],
+        });
+        let mut fail = record(10.0, None);
+        fail.hour = 1;
+        fail.audit = Some(HourAudit {
+            checks: 30,
+            failures: vec!["site 0: power 200 MW exceeds cap 120 MW".into()],
+        });
+        let unaudited = record(10.0, None);
+        let r = MonthlyReport {
+            strategy_name: "t".into(),
+            monthly_budget: None,
+            hours: vec![pass, fail, unaudited],
+        };
+        assert_eq!(r.audited_hours(), 2);
+        assert_eq!(r.audit_failures(), 1);
+        assert!(!r.audit_clean());
+        let (hour, audit) = r.first_audit_failure().unwrap();
+        assert_eq!(hour, 1);
+        assert!(audit.failures[0].contains("exceeds cap"));
     }
 }

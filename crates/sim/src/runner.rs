@@ -1,8 +1,11 @@
 //! The hourly simulation loop.
 
-use crate::metrics::{HourRecord, MonthlyReport};
+use crate::metrics::{HourAudit, HourRecord, MonthlyReport};
 use crate::scenario::Scenario;
-use billcap_core::{evaluate_allocation, BillCapper, CoreError, MinOnly, PriceAssumption};
+use billcap_core::{
+    audit_env_enabled, evaluate_allocation, BillCapper, CoreError, MinOnly, PlanAuditor,
+    PriceAssumption,
+};
 use billcap_workload::Budgeter;
 
 /// The strategies the paper evaluates.
@@ -45,7 +48,27 @@ pub fn run_month(
     strategy: Strategy,
     monthly_budget: Option<f64>,
 ) -> Result<MonthlyReport, CoreError> {
+    run_month_with(scenario, strategy, monthly_budget, audit_env_enabled())
+}
+
+/// [`run_month`] with the plan audit explicitly on or off.
+///
+/// With `audit` set, every Cost Capping hour's decision is re-checked by
+/// [`PlanAuditor`] against the paper's invariants (power caps, G/G/m
+/// response time, step-price consistency, budget-with-override, premium
+/// QoS) and the outcome is recorded on the [`HourRecord`]. Baselines are
+/// not audited — they violate the capper's invariants by design. The
+/// solver-level certificate check is separate: it runs inside the
+/// optimizers whenever `BILLCAP_AUDIT` is set and turns a bad certificate
+/// into a hard [`CoreError::Audit`].
+pub fn run_month_with(
+    scenario: &Scenario,
+    strategy: Strategy,
+    monthly_budget: Option<f64>,
+    audit: bool,
+) -> Result<MonthlyReport, CoreError> {
     let horizon = scenario.horizon();
+    let auditor = audit.then(PlanAuditor::default);
     let mut budgeter = match (strategy, monthly_budget) {
         (Strategy::CostCapping, Some(b)) => {
             Some(Budgeter::from_history(b, &scenario.history, horizon))
@@ -74,6 +97,9 @@ pub fn run_month(
                     .unwrap_or(f64::INFINITY);
                 let decision =
                     capper.decide_hour(&scenario.system, offered, premium, &d, hourly_budget)?;
+                let audit = auditor.as_ref().map(|a| {
+                    HourAudit::from_report(&a.audit_decision(&scenario.system, &decision, &d))
+                });
                 let realized =
                     evaluate_allocation(&scenario.system, &decision.allocation.lambda, &d);
                 if let Some(b) = budgeter.as_mut() {
@@ -93,6 +119,7 @@ pub fn run_month(
                     lambda: decision.allocation.lambda.clone(),
                     power_mw: realized.power_mw,
                     price: realized.price,
+                    audit,
                 }
             }
             Strategy::MinOnlyAvg | Strategy::MinOnlyLow => {
@@ -120,6 +147,7 @@ pub fn run_month(
                     lambda: decision.lambda.clone(),
                     power_mw: realized.power_mw,
                     price: realized.price,
+                    audit: None,
                 }
             }
         };
@@ -196,6 +224,26 @@ mod tests {
         let r = run_month(&s, Strategy::MinOnlyAvg, Some(1.0)).unwrap();
         assert_eq!(r.monthly_budget, None);
         assert!((r.ordinary_throughput() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audited_month_is_clean_and_recorded() {
+        let s = short_scenario();
+        // Tight budget so all three outcomes (within/throttled/override)
+        // can appear, each with its own invariant set.
+        let r = run_month_with(&s, Strategy::CostCapping, Some(80_000.0), true).unwrap();
+        assert_eq!(r.audited_hours(), 168);
+        assert!(
+            r.audit_clean(),
+            "audit failures: {:?}",
+            r.first_audit_failure()
+        );
+        // Baselines are never audited.
+        let b = run_month_with(&s, Strategy::MinOnlyAvg, None, true).unwrap();
+        assert_eq!(b.audited_hours(), 0);
+        // And auditing off leaves records unaudited.
+        let off = run_month_with(&s, Strategy::CostCapping, None, false).unwrap();
+        assert_eq!(off.audited_hours(), 0);
     }
 
     #[test]

@@ -227,6 +227,77 @@ mod tests {
     }
 
     #[test]
+    fn midweek_surplus_does_not_leak_across_boundary() {
+        // Underspend through week one, then cross the boundary: the
+        // accumulated surplus must vanish, not inflate week two, even when
+        // the surplus is large relative to the base allotment.
+        let mut b = Budgeter::uniform(2.0 * 1680.0, 2 * HOURS_PER_WEEK); // $10/hour
+        for _ in 0..HOURS_PER_WEEK - 1 {
+            b.record_spend(1.0); // bank $9/hour
+        }
+        // Last hour of week one sees the full banked surplus...
+        let last = b.hourly_budget();
+        assert!((last - (10.0 + 9.0 * 167.0)).abs() < 1e-9, "last {last}");
+        b.record_spend(1.0);
+        // ...but week two starts from the clean base allotment.
+        let fresh = b.hourly_budget();
+        assert!((fresh - 10.0).abs() < 1e-9, "fresh {fresh}");
+        // And the surplus stays gone: spending exactly the budget from here
+        // keeps every remaining hour at the base allotment.
+        for _ in 0..5 {
+            b.record_spend(b.hourly_budget());
+            let h = b.hourly_budget();
+            assert!((h - 10.0).abs() < 1e-9, "got {h}");
+        }
+    }
+
+    #[test]
+    fn exact_spend_week_leaves_next_week_unchanged() {
+        // A week with zero unused budget (every hour spent exactly) is a
+        // fixed point: the boundary reset is a no-op and week two opens
+        // identical to week one.
+        let mut b = Budgeter::uniform(2.0 * 1680.0, 2 * HOURS_PER_WEEK);
+        let opening = b.hourly_budget();
+        for _ in 0..HOURS_PER_WEEK {
+            let h = b.hourly_budget();
+            b.record_spend(h);
+        }
+        assert!((b.hourly_budget() - opening).abs() < 1e-9);
+        // Exactly half the monthly budget is gone after half the month.
+        assert!((b.spent() - 1680.0).abs() < 1e-9);
+        assert!((b.remaining() - 1680.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn premium_overrun_debt_is_forgiven_at_week_boundary() {
+        // A premium-QoS hour can overrun the hourly budget (the capper's
+        // PremiumOverride outcome). The overdraft depresses the rest of the
+        // week — possibly clamping hours to zero — but must NOT follow the
+        // budgeter into the next week.
+        let mut b = Budgeter::uniform(2.0 * 1680.0, 2 * HOURS_PER_WEEK); // $10/hour
+        for _ in 0..HOURS_PER_WEEK - 3 {
+            b.record_spend(b.hourly_budget());
+        }
+        // Premium overrun: three hours before the boundary, spend way past
+        // the remaining week's worth of budget.
+        b.record_spend(100.0);
+        assert!((b.carryover - (-90.0)).abs() < 1e-9);
+        // The clamp hides the debt from callers but it keeps accruing.
+        assert_eq!(b.hourly_budget(), 0.0);
+        b.record_spend(0.0);
+        assert!((b.carryover - (-80.0)).abs() < 1e-9);
+        assert_eq!(b.hourly_budget(), 0.0);
+        // Final hour of the week crosses the boundary: debt forgiven.
+        b.record_spend(0.0);
+        assert_eq!(b.carryover, 0.0);
+        assert!((b.hourly_budget() - 10.0).abs() < 1e-9);
+        // The *monthly* ledger still remembers the overrun, as the paper
+        // intends — only the intra-week pacing forgets it.
+        let expected_spent = 10.0 * (HOURS_PER_WEEK - 3) as f64 + 100.0;
+        assert!((b.spent() - expected_spent).abs() < 1e-9);
+    }
+
+    #[test]
     fn accounting_totals() {
         let mut b = Budgeter::uniform(100.0, 10);
         b.record_spend(3.0);
