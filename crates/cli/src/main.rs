@@ -27,7 +27,7 @@ billcap — electricity bill capping for cloud-scale data centers
 
 USAGE:
   billcap decide-hour --offered R --premium-frac F --budget D
-          [--background MW,MW,MW] [--policy 0..3] [--audit]
+          [--background MW,MW,MW] [--policy 0..3] [--audit] [--trace FILE]
       Decide one hour's workload dispatch for the paper's 3-site system.
       With --audit, re-verify the plan against the paper's invariants
       (power caps, G/G/m response time, step-price level, budget rules)
@@ -35,12 +35,18 @@ USAGE:
 
   billcap simulate-month --strategy capping|min-only-avg|min-only-low
           [--budget DOLLARS] [--policy 0..3] [--seed N] [--csv FILE]
-          [--quiet] [--audit]
+          [--quiet] [--audit] [--trace FILE]
       Simulate the evaluation month and print the summary
       (optionally dumping the hourly series as CSV). With --audit, every
       capping hour is re-verified and the audit tally is reported.
       Setting BILLCAP_AUDIT=1 additionally certifies each MILP solve
       (feasibility, integrality, dual bounds) inside the optimizers.
+
+      With --trace FILE, solver tracing is enabled for the run and the
+      merged trace (per-hour spans, B&B node counters, price-level
+      histograms) is written to FILE as JSONL. Setting BILLCAP_TRACE to
+      a path does the same without the flag; BILLCAP_TRACE=1 enables
+      collection only.
 
   billcap derive-policies [--max-load MW] [--step MW]
       Derive the locational step pricing policies from the PJM
@@ -90,6 +96,32 @@ fn stringify(e: ArgError) -> String {
     e.0
 }
 
+/// Resolves the trace output path (`--trace FILE`, or a path-valued
+/// `BILLCAP_TRACE`) and enables global tracing when one is found.
+fn begin_trace(args: &Args) -> Option<String> {
+    let path = args
+        .get("trace")
+        .map(String::from)
+        .or_else(billcap_obs::env_trace_path);
+    if path.is_some() {
+        billcap_obs::set_enabled(true);
+    }
+    path
+}
+
+/// Writes the global trace snapshot to `path` as JSONL.
+fn write_trace(path: &str) -> Result<(), ArgError> {
+    let snap = billcap_obs::snapshot();
+    std::fs::write(path, billcap_obs::export::to_jsonl(&snap))
+        .map_err(|e| ArgError(format!("writing trace {path:?}: {e}")))?;
+    eprintln!(
+        "trace written to {path} ({} span events, {} counters)",
+        snap.events.len(),
+        snap.counters.len()
+    );
+    Ok(())
+}
+
 fn policy_arg(args: &Args) -> Result<usize, ArgError> {
     let p: usize = args.get_or("policy", 1)?;
     if p > 3 {
@@ -105,6 +137,7 @@ fn decide_hour(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("--premium-frac must be in [0, 1]".into()));
     }
     let budget: f64 = args.require("budget")?;
+    let trace_path = begin_trace(args);
     let background = args
         .get_f64_list("background")?
         .unwrap_or_else(|| vec![360.0, 410.0, 430.0]);
@@ -152,6 +185,9 @@ fn decide_hour(args: &Args) -> Result<(), ArgError> {
             return Err(ArgError(format!("plan audit failed: {report}")));
         }
     }
+    if let Some(path) = &trace_path {
+        write_trace(path)?;
+    }
     Ok(())
 }
 
@@ -175,9 +211,13 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
         None => None,
     };
     let audit = args.has("audit") || audit_env_enabled();
+    let trace_path = begin_trace(args);
     let scenario = Scenario::paper_default(policy_arg(args)?, seed);
     let report =
         run_month_with(&scenario, strategy, budget, audit).map_err(|e| ArgError(e.to_string()))?;
+    if let Some(path) = &trace_path {
+        write_trace(path)?;
+    }
     if args.has("quiet") {
         // Machine-friendly single line: cost, premium tput, ordinary tput.
         println!(
@@ -373,5 +413,21 @@ mod tests {
     #[test]
     fn simulate_month_validation() {
         assert!(run_str("simulate-month --strategy bogus").is_err());
+    }
+
+    #[test]
+    fn decide_hour_trace_writes_jsonl() {
+        let dir = std::env::temp_dir().join("billcap_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hour.jsonl");
+        assert!(run_str(&format!(
+            "decide-hour --offered 6e8 --premium-frac 0.8 --budget 1e9 --trace {}",
+            path.display()
+        ))
+        .is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snap = billcap_obs::export::parse_jsonl(&text).unwrap();
+        assert!(snap.spans.keys().any(|p| p.contains("step1")));
+        assert!(snap.counters.contains_key("milp.bnb.nodes"));
     }
 }

@@ -63,73 +63,133 @@ pub(crate) fn certify_if_enabled(model: &Model, sol: &Solution) -> Result<(), Co
 pub enum PlanViolation {
     /// A per-site vector has the wrong length.
     Dimension {
+        /// Which vector is mis-sized.
         what: String,
+        /// Expected length (the number of sites).
         expected: usize,
+        /// Actual length found.
         got: usize,
     },
     /// A reported quantity is NaN/infinite or negative where it cannot be.
-    BadValue { what: String, value: f64 },
+    BadValue {
+        /// Which quantity is bad.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
     /// Site power exceeds the supplier-imposed cap `Ps_i`.
     PowerCap {
+        /// Site index.
         site: usize,
+        /// Reported power draw (MW).
         power_mw: f64,
+        /// The site's cap (MW).
         cap_mw: f64,
     },
     /// The reported power disagrees with the site's power model at `λ_i`.
     PowerIdentity {
+        /// Site index.
         site: usize,
+        /// Power the plan reports (MW).
         reported_mw: f64,
+        /// Power the site model computes for the assigned rate (MW).
         expected_mw: f64,
     },
     /// Allen–Cunneen response time at the started servers misses `Rs_i`.
     ResponseTime {
+        /// Site index.
         site: usize,
+        /// Achieved mean response time (seconds).
         response: f64,
+        /// The site's QoS target (seconds).
         target: f64,
     },
     /// More servers than the site hosts.
     ServerInventory {
+        /// Site index.
         site: usize,
+        /// Servers the plan starts.
         servers: u64,
+        /// Servers the site actually hosts.
         max_servers: u64,
     },
     /// The reported price level index does not exist in the policy.
-    UnknownLevel { site: usize, level: usize },
+    UnknownLevel {
+        /// Site index.
+        site: usize,
+        /// The nonexistent level index.
+        level: usize,
+    },
     /// The reported price is not the policy's price for the reported level.
     PriceValue {
+        /// Site index.
         site: usize,
+        /// Reported level index.
         level: usize,
+        /// Price the plan reports ($/MWh).
         reported: f64,
+        /// The policy's price for that level ($/MWh).
         expected: f64,
     },
     /// The actual regional load `p_i + d_i` lies outside the reported level.
     PriceLevel {
+        /// Site index.
         site: usize,
+        /// Reported level index.
         level: usize,
+        /// Actual regional load (MW).
         load_mw: f64,
+        /// Level lower breakpoint (MW).
         lo_mw: f64,
+        /// Level upper breakpoint (MW).
         hi_mw: f64,
     },
     /// `cost_i != price_i * p_i`, or the totals do not add up.
     CostArithmetic {
+        /// Which cost identity failed.
         what: String,
+        /// Cost the plan reports ($).
         reported: f64,
+        /// Cost recomputed from prices and powers ($).
         expected: f64,
     },
     /// Premium traffic was shed — never allowed by the paper.
-    PremiumShed { offered: f64, served: f64 },
+    PremiumShed {
+        /// Premium rate offered (requests/hour).
+        offered: f64,
+        /// Premium rate served (requests/hour).
+        served: f64,
+    },
     /// Served traffic exceeds what was offered.
-    OverAdmission { served: f64, offered: f64 },
+    OverAdmission {
+        /// Total rate served (requests/hour).
+        served: f64,
+        /// Total rate offered (requests/hour).
+        offered: f64,
+    },
     /// The allocation's admitted rate disagrees with the served split.
-    Conservation { allocated: f64, served: f64 },
+    Conservation {
+        /// Rate the allocation admits (requests/hour).
+        allocated: f64,
+        /// Premium + ordinary served (requests/hour).
+        served: f64,
+    },
     /// Cost exceeds the hour's budget outside the premium-override hour.
     BudgetExceeded {
+        /// Enforced cost ($).
         cost: f64,
+        /// The hour's budget ($).
         budget: f64,
+        /// The outcome branch that produced the decision.
         outcome: HourOutcome,
     },
     /// A within-budget hour failed to serve the full offered load.
-    UnderServed { offered: f64, served: f64 },
+    UnderServed {
+        /// Total rate offered (requests/hour).
+        offered: f64,
+        /// Total rate served (requests/hour).
+        served: f64,
+    },
 }
 
 impl fmt::Display for PlanViolation {
@@ -276,8 +336,9 @@ pub struct PlanAuditor {
     /// up to one server's worth.
     pub power_rel_tol: f64,
     /// Slack (MW) allowed around a price level's interval. Must cover the
-    /// formulation's deliberate [`BREAKPOINT_MARGIN_MW`] plus the idle-site
-    /// widening (a site's base power, a few kW).
+    /// formulation's deliberate breakpoint margin
+    /// (`minimize::BREAKPOINT_MARGIN_MW`) plus the idle-site widening
+    /// (a site's base power, a few kW).
     pub level_margin_mw: f64,
     /// Relative slack on the response-time target.
     pub qos_rel_tol: f64,

@@ -45,7 +45,9 @@ pub struct MinOnlyDecision {
 /// The Min-Only baseline optimizer.
 #[derive(Debug, Clone)]
 pub struct MinOnly {
+    /// The constant-price model the baseline believes in.
     pub assumption: PriceAssumption,
+    /// The LP solver (Min-Only's problem has no binaries).
     pub lp: LpSolver,
 }
 

@@ -17,6 +17,7 @@ use crate::maximize::ThroughputMaximizer;
 use crate::minimize::{Allocation, CostMinimizer};
 use crate::spec::DataCenterSystem;
 use billcap_milp::SolveError;
+use std::time::Instant;
 
 /// Tuning knobs for the capper.
 #[derive(Debug, Clone, Default)]
@@ -36,10 +37,45 @@ pub enum HourOutcome {
     PremiumOverride,
 }
 
+/// Per-hour solver effort, collected unconditionally by
+/// [`BillCapper::decide_hour`].
+///
+/// Wall-clock fields are machine-dependent; the node/iteration counts are
+/// deterministic for sequential solves (see
+/// [`billcap_milp::SolveTrace`] for the parallel caveat). A step that was
+/// not run (step 2 and 3 are skipped when the budget fits) reports zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecisionTrace {
+    /// Wall time of step 1 (cost minimization), nanoseconds.
+    pub step1_ns: u64,
+    /// Wall time of step 2 (throughput maximization), nanoseconds.
+    pub step2_ns: u64,
+    /// Wall time of step 3 (premium-only re-minimization), nanoseconds.
+    pub step3_ns: u64,
+    /// MILP solves performed this hour (1–3).
+    pub solves: usize,
+    /// Branch-and-bound nodes across all solves this hour.
+    pub nodes: usize,
+    /// Simplex iterations across all solves this hour.
+    pub lp_iterations: usize,
+}
+
+impl DecisionTrace {
+    fn absorb(&mut self, alloc: &Allocation) {
+        self.solves += 1;
+        if let Some(stats) = &alloc.stats {
+            self.nodes += stats.nodes;
+            self.lp_iterations += stats.lp_iterations;
+        }
+    }
+}
+
 /// The decision for one invocation period.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HourDecision {
+    /// The enforced workload allocation.
     pub allocation: Allocation,
+    /// Which branch of the algorithm produced the decision.
     pub outcome: HourOutcome,
     /// Requests/hour offered by customers (after any capacity clamp).
     pub offered: f64,
@@ -51,6 +87,8 @@ pub struct HourDecision {
     pub ordinary_served: f64,
     /// The hour's budget the decision was made against ($).
     pub budget: f64,
+    /// Solver effort spent reaching this decision.
+    pub trace: DecisionTrace,
 }
 
 impl HourDecision {
@@ -69,7 +107,9 @@ impl HourDecision {
 /// The bill-capping orchestrator.
 #[derive(Debug, Clone)]
 pub struct BillCapper {
+    /// The step-1 (and step-3) cost minimizer.
     pub minimizer: CostMinimizer,
+    /// The step-2 throughput maximizer.
     pub maximizer: ThroughputMaximizer,
 }
 
@@ -124,10 +164,18 @@ impl BillCapper {
         }
         // Capacity clamp: shed un-servable ordinary traffic up front.
         let offered = offered.min(capacity);
+        let mut trace = DecisionTrace::default();
 
         // Step 1: cost minimization over the whole offered load.
+        let t0 = Instant::now();
+        let mut span1 = billcap_obs::span("step1");
         let step1 = self.minimizer.solve(system, offered, background_mw)?;
+        span1.field("cost", step1.total_cost);
+        drop(span1);
+        trace.step1_ns = t0.elapsed().as_nanos() as u64;
+        trace.absorb(&step1);
         if step1.total_cost <= hourly_budget {
+            record_outcome(HourOutcome::WithinBudget, &step1, hourly_budget);
             return Ok(HourDecision {
                 outcome: HourOutcome::WithinBudget,
                 offered,
@@ -136,10 +184,13 @@ impl BillCapper {
                 ordinary_served: offered - premium_offered,
                 budget: hourly_budget,
                 allocation: step1,
+                trace,
             });
         }
 
         // Step 2: throughput maximization within the budget.
+        let t0 = Instant::now();
+        let mut span2 = billcap_obs::span("step2");
         let step2 = match self
             .maximizer
             .solve(system, offered, background_mw, hourly_budget)
@@ -150,9 +201,16 @@ impl BillCapper {
             Err(CoreError::Solver(SolveError::Infeasible)) => None,
             Err(e) => return Err(e),
         };
+        if let Some(a) = &step2 {
+            span2.field("admitted", a.total_lambda);
+        }
+        drop(span2);
+        trace.step2_ns = t0.elapsed().as_nanos() as u64;
         if let Some(step2) = step2 {
+            trace.absorb(&step2);
             if step2.total_lambda >= premium_offered - 1e-6 {
                 let ordinary = (step2.total_lambda - premium_offered).max(0.0);
+                record_outcome(HourOutcome::Throttled, &step2, hourly_budget);
                 return Ok(HourDecision {
                     outcome: HourOutcome::Throttled,
                     offered,
@@ -161,14 +219,22 @@ impl BillCapper {
                     ordinary_served: ordinary,
                     budget: hourly_budget,
                     allocation: step2,
+                    trace,
                 });
             }
         }
 
         // Premium override: serve premium at minimum cost, budget be damned.
+        let t0 = Instant::now();
+        let mut span3 = billcap_obs::span("step3");
         let step3 = self
             .minimizer
             .solve(system, premium_offered, background_mw)?;
+        span3.field("cost", step3.total_cost);
+        drop(span3);
+        trace.step3_ns = t0.elapsed().as_nanos() as u64;
+        trace.absorb(&step3);
+        record_outcome(HourOutcome::PremiumOverride, &step3, hourly_budget);
         Ok(HourDecision {
             outcome: HourOutcome::PremiumOverride,
             offered,
@@ -177,7 +243,30 @@ impl BillCapper {
             ordinary_served: 0.0,
             budget: hourly_budget,
             allocation: step3,
+            trace,
         })
+    }
+}
+
+/// Emits the per-hour outcome counters, the budget-slack gauge, and the
+/// price-level-selection histogram when tracing is enabled.
+fn record_outcome(outcome: HourOutcome, alloc: &Allocation, budget: f64) {
+    if !billcap_obs::enabled() {
+        return;
+    }
+    let name = match outcome {
+        HourOutcome::WithinBudget => "core.capper.within_budget",
+        HourOutcome::Throttled => "core.capper.throttled",
+        HourOutcome::PremiumOverride => "core.capper.premium_override",
+    };
+    billcap_obs::counter(name, 1);
+    if budget.is_finite() {
+        billcap_obs::gauge("core.capper.budget_slack", budget - alloc.total_cost);
+    }
+    // One observation per site-hour: which price level the site landed in.
+    const LEVEL_BOUNDS: [f64; 5] = [0.0, 1.0, 2.0, 3.0, 4.0];
+    for &k in &alloc.level {
+        billcap_obs::observe_with("core.capper.price_level", k as f64, &LEVEL_BOUNDS);
     }
 }
 

@@ -10,14 +10,24 @@ use std::fmt;
 pub enum CoreError {
     /// The demanded workload exceeds what the data-center network can carry
     /// within its power caps and QoS targets.
-    InsufficientCapacity { demanded: f64, capacity: f64 },
+    InsufficientCapacity {
+        /// Demanded rate (requests/hour).
+        demanded: f64,
+        /// Deliverable capacity (requests/hour).
+        capacity: f64,
+    },
     /// The underlying MILP failed.
     Solver(SolveError),
     /// The queueing model rejected the configuration (e.g. an unreachable
     /// response-time target).
     Queueing(QueueingError),
     /// Mismatched input sizes (e.g. background-demand vector vs. sites).
-    Dimension { expected: usize, got: usize },
+    Dimension {
+        /// Expected length.
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
     /// A solve or plan failed independent certification (`BILLCAP_AUDIT` /
     /// `--audit`); the message carries the violated invariants.
     Audit(String),

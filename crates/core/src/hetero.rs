@@ -13,6 +13,7 @@ use billcap_queueing::GgmModel;
 /// One class of servers inside a heterogeneous data center.
 #[derive(Debug, Clone)]
 pub struct ServerClass {
+    /// Human-readable class name (e.g. a server generation).
     pub name: String,
     /// Per-server power at the packed operating point (W).
     pub watts: f64,
@@ -33,14 +34,18 @@ impl ServerClass {
 /// carry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ActivationEntry {
+    /// Index into [`HeteroDataCenter::classes`].
     pub class_index: usize,
+    /// Servers of that class to activate.
     pub servers: u64,
+    /// Request rate those servers carry (requests/hour).
     pub rate: f64,
 }
 
 /// The local optimizer's activation plan for one hour.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ActivationPlan {
+    /// Per-class activations, in activation (efficiency) order.
     pub entries: Vec<ActivationEntry>,
     /// Total server power (W).
     pub power_w: f64,
@@ -52,6 +57,7 @@ pub struct ActivationPlan {
 /// response-time target.
 #[derive(Debug, Clone)]
 pub struct HeteroDataCenter {
+    /// The site's server classes.
     pub classes: Vec<ServerClass>,
     /// Response-time target (hours), interpreted per class against its own
     /// service rate (a class whose bare service time exceeds the target is

@@ -233,6 +233,7 @@ impl HierarchicalMinimizer {
             cost,
             total_cost,
             total_lambda,
+            stats: None,
         })
     }
 }

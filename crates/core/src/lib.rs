@@ -25,6 +25,32 @@
 //! compares against (constant prices, server-only power model); and
 //! **[`evaluate_allocation`]** applies the *true* cost model to any
 //! allocation so that baseline decisions are billed at real market prices.
+//!
+//! ## Example
+//!
+//! Decide one hour for the paper's three-site system under a tight budget:
+//!
+//! ```
+//! use billcap_core::{BillCapper, DataCenterSystem, HourOutcome};
+//!
+//! let system = DataCenterSystem::paper_system(1); // pricing policy 1
+//! let background = vec![330.0, 410.0, 280.0];    // regional demand, MW
+//!
+//! let capper = BillCapper::default();
+//! let decision = capper
+//!     .decide_hour(&system, 6e8, 4.8e8, &background, 25_000.0)
+//!     .unwrap();
+//!
+//! // Premium traffic is always served, whatever the outcome branch.
+//! assert_eq!(decision.premium_served, 4.8e8);
+//! if decision.outcome != HourOutcome::PremiumOverride {
+//!     assert!(decision.cost() <= 25_000.0 * (1.0 + 1e-9));
+//! }
+//! // Solver effort is recorded on every decision.
+//! assert!(decision.trace.solves >= 1);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod audit;
 pub mod baselines;

@@ -15,7 +15,9 @@ use billcap_milp::{ConstraintOp, MipSolver, Model, Sense, VarId};
 /// The Step-2 optimizer.
 #[derive(Debug, Clone, Default)]
 pub struct ThroughputMaximizer {
+    /// The MILP solver.
     pub solver: MipSolver,
+    /// Model server counts as integers inside the MILP (ablation mode).
     pub integral_servers: bool,
 }
 

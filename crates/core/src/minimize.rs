@@ -21,7 +21,7 @@
 
 use crate::error::CoreError;
 use crate::spec::DataCenterSystem;
-use billcap_milp::{ConstraintOp, MipSolver, Model, Sense, VarId, VarType};
+use billcap_milp::{ConstraintOp, MipSolver, MipStats, Model, Sense, VarId, VarType};
 
 /// Rate unit used inside the MILPs: one million requests/hour.
 pub(crate) const RATE_SCALE: f64 = 1e6;
@@ -49,6 +49,11 @@ pub struct Allocation {
     pub total_cost: f64,
     /// Total admitted rate (requests/hour).
     pub total_lambda: f64,
+    /// Branch-and-bound statistics of the MILP solve that produced this
+    /// allocation. `None` when the allocation was not produced by a single
+    /// MIP solve (e.g. the hierarchical decomposition, which stitches
+    /// together many regional solves).
+    pub stats: Option<MipStats>,
 }
 
 /// Shared MILP scaffolding between the two steps.
@@ -238,12 +243,14 @@ pub(crate) fn extract_allocation(
         cost,
         total_cost,
         total_lambda,
+        stats: sol.mip,
     }
 }
 
 /// The Step-1 optimizer.
 #[derive(Debug, Clone, Default)]
 pub struct CostMinimizer {
+    /// The MILP solver.
     pub solver: MipSolver,
     /// Model server counts as integers inside the MILP (ablation mode;
     /// the default relaxes them and lets the local optimizer round up).

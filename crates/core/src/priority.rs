@@ -18,6 +18,7 @@ use billcap_milp::SolveError;
 /// One traffic class.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PriorityClass {
+    /// Class name (for reports).
     pub name: String,
     /// Offered rate (requests/hour).
     pub rate: f64,

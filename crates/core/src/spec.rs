@@ -8,6 +8,7 @@ use billcap_queueing::GgmModel;
 /// Static description of one data-center site.
 #[derive(Debug, Clone)]
 pub struct DataCenterSpec {
+    /// Site name (e.g. the paper's "DC-East").
     pub name: String,
     /// G/G/m performance model; service rate in requests/hour/server.
     pub queue: GgmModel,
@@ -157,7 +158,9 @@ impl DataCenterSpec {
 /// A network of data centers with their locational pricing policies.
 #[derive(Debug, Clone)]
 pub struct DataCenterSystem {
+    /// The sites.
     pub sites: Vec<DataCenterSpec>,
+    /// One pricing policy per site, index-aligned with `sites`.
     pub policies: PricingPolicySet,
 }
 

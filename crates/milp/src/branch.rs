@@ -5,13 +5,13 @@
 //! a mutex, solve node relaxations independently on worker-local model
 //! clones, and publish improving incumbents through an atomic cell that
 //! every worker reads for global-bound pruning. The reduction is
-//! deterministic — see [`parallel`] for why parallel and sequential
-//! solves of well-posed instances return identical objectives.
+//! deterministic — see the `parallel` submodule for why parallel and
+//! sequential solves of well-posed instances return identical objectives.
 
 use crate::error::SolveError;
 use crate::model::{Model, Sense, VarId};
 use crate::simplex::LpSolver;
-use crate::solution::{MipStats, Solution, Status};
+use crate::solution::{MipStats, Solution, SolveTrace, Status};
 use crate::INT_TOL;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -123,6 +123,12 @@ impl Frontier {
             Frontier::Stack(s) => s.pop(),
         }
     }
+    fn len(&self) -> usize {
+        match self {
+            Frontier::Heap(h) => h.len(),
+            Frontier::Stack(s) => s.len(),
+        }
+    }
     fn best_bound(&self) -> Option<f64> {
         match self {
             Frontier::Heap(h) => h.peek().map(|n| n.bound),
@@ -165,7 +171,12 @@ impl MipSolver {
                 lp_iterations: sol.iterations,
                 best_bound: sol.objective,
                 gap: 0.0,
+                trace: SolveTrace {
+                    degenerate_pivots: sol.degenerate,
+                    ..SolveTrace::default()
+                },
             });
+            record_obs(sol.mip.as_ref().expect("just set"));
             return Ok(sol);
         }
 
@@ -216,23 +227,37 @@ impl MipSolver {
         let mut incumbent_key = f64::INFINITY;
         let mut nodes = 0usize;
         let mut lp_iterations = 0usize;
+        let mut trace = SolveTrace::default();
+        let obs_on = billcap_obs::enabled();
+        let mut mip_span = billcap_obs::span("mip");
 
         while let Some(node) = frontier.pop() {
+            if obs_on {
+                billcap_obs::observe("milp.bnb.queue_depth", frontier.len() as f64);
+            }
             // Global-bound prune (incumbent may have improved since push).
             if node.bound >= incumbent_key - self.prune_slack(incumbent_key) {
+                trace.pruned_by_bound += 1;
                 continue;
             }
             if nodes >= self.max_nodes {
-                return self.finish_at_limit(incumbent, nodes, lp_iterations, sign, &frontier);
+                let sol =
+                    self.finish_at_limit(incumbent, nodes, lp_iterations, sign, &frontier, trace);
+                finish_obs(&mut mip_span, sol.as_ref().ok());
+                return sol;
             }
             nodes += 1;
+            trace.max_depth = trace.max_depth.max(node.depth);
 
             for (i, &(lb, ub)) in node.bounds.iter().enumerate() {
                 work.set_var_bounds(VarId(i), lb, ub);
             }
             let lp_sol = match self.lp.solve(&work) {
                 Ok(s) => s,
-                Err(SolveError::Infeasible) => continue,
+                Err(SolveError::Infeasible) => {
+                    trace.pruned_infeasible += 1;
+                    continue;
+                }
                 Err(SolveError::Unbounded) => {
                     // The relaxation is unbounded; for the models produced in
                     // this workspace that implies the MILP is unbounded too.
@@ -241,8 +266,13 @@ impl MipSolver {
                 Err(e) => return Err(e),
             };
             lp_iterations += lp_sol.iterations;
+            trace.degenerate_pivots += lp_sol.degenerate;
+            if obs_on {
+                billcap_obs::observe("milp.lp.iterations_per_node", lp_sol.iterations as f64);
+            }
             let node_key = sign * lp_sol.objective;
             if node_key >= incumbent_key - self.prune_slack(incumbent_key) {
+                trace.pruned_by_bound += 1;
                 continue; // bound prune
             }
 
@@ -259,11 +289,13 @@ impl MipSolver {
                     let key = sign * objective;
                     if key < incumbent_key {
                         incumbent_key = key;
+                        trace.incumbent_updates += 1;
                         incumbent = Some(Solution {
                             status: Status::Optimal,
                             objective,
                             values,
                             iterations: lp_iterations,
+                            degenerate: 0,
                             mip: None,
                             duals: None,
                         });
@@ -293,6 +325,7 @@ impl MipSolver {
                     }
                 }
             }
+            trace.max_frontier = trace.max_frontier.max(frontier.len());
 
             // Gap-based early stop (best-bound search keeps the frontier's
             // minimum as a valid global dual bound).
@@ -305,12 +338,15 @@ impl MipSolver {
                 if gap <= self.gap_tol {
                     let mut sol = inc.clone();
                     sol.iterations = lp_iterations;
+                    sol.degenerate = trace.degenerate_pivots;
                     sol.mip = Some(MipStats {
                         nodes,
                         lp_iterations,
                         best_bound: sign * fb,
                         gap,
+                        trace,
                     });
+                    finish_obs(&mut mip_span, Some(&sol));
                     return Ok(sol);
                 }
             }
@@ -319,12 +355,15 @@ impl MipSolver {
         match incumbent {
             Some(mut sol) => {
                 sol.iterations = lp_iterations;
+                sol.degenerate = trace.degenerate_pivots;
                 sol.mip = Some(MipStats {
                     nodes,
                     lp_iterations,
                     best_bound: sol.objective,
                     gap: 0.0,
+                    trace,
                 });
+                finish_obs(&mut mip_span, Some(&sol));
                 Ok(sol)
             }
             None => Err(SolveError::Infeasible),
@@ -367,10 +406,13 @@ impl MipSolver {
         lp_iterations: usize,
         sign: f64,
         frontier: &Frontier,
+        trace: SolveTrace,
     ) -> Result<Solution, SolveError> {
         match incumbent {
             Some(mut sol) => {
                 sol.status = Status::Feasible;
+                sol.iterations = lp_iterations;
+                sol.degenerate = trace.degenerate_pivots;
                 let bound_key = frontier
                     .best_bound()
                     .unwrap_or(sign * sol.objective)
@@ -381,12 +423,53 @@ impl MipSolver {
                     lp_iterations,
                     best_bound: sign * bound_key,
                     gap,
+                    trace,
                 });
                 Ok(sol)
             }
             None => Err(SolveError::NodeLimit { nodes }),
         }
     }
+}
+
+/// Writes a finished solve's counters to the global trace recorder and
+/// stamps summary fields on the solve's span. No-op when tracing is off.
+pub(crate) fn record_obs(stats: &MipStats) {
+    if !billcap_obs::enabled() {
+        return;
+    }
+    billcap_obs::counter("milp.bnb.solves", 1);
+    billcap_obs::counter("milp.bnb.nodes", stats.nodes as u64);
+    billcap_obs::counter("milp.lp.iterations", stats.lp_iterations as u64);
+    billcap_obs::counter("milp.bnb.pruned_bound", stats.trace.pruned_by_bound as u64);
+    billcap_obs::counter(
+        "milp.bnb.pruned_infeasible",
+        stats.trace.pruned_infeasible as u64,
+    );
+    billcap_obs::counter(
+        "milp.bnb.incumbent_updates",
+        stats.trace.incumbent_updates as u64,
+    );
+    billcap_obs::counter(
+        "milp.lp.degenerate_pivots",
+        stats.trace.degenerate_pivots as u64,
+    );
+}
+
+/// Completes a solve's `mip` span: attaches the headline counters as
+/// fields (when the span is live) and records the aggregate counters.
+pub(crate) fn finish_obs(span: &mut billcap_obs::Span, sol: Option<&Solution>) {
+    let Some(sol) = sol else { return };
+    let Some(stats) = sol.mip.as_ref() else {
+        return;
+    };
+    if span.is_enabled() {
+        span.field("nodes", stats.nodes as f64);
+        span.field("lp_iterations", stats.lp_iterations as f64);
+        span.field("incumbents", stats.trace.incumbent_updates as f64);
+        span.field("max_depth", stats.trace.max_depth as f64);
+    }
+    record_obs(stats);
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@
 use super::{MipSolver, Node};
 use crate::error::SolveError;
 use crate::model::{Model, VarId};
-use crate::solution::{MipStats, Solution, Status};
+use crate::solution::{MipStats, Solution, SolveTrace, Status};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -100,6 +100,8 @@ struct Shared<'a> {
     lp_iterations: AtomicUsize,
     stop: AtomicBool,
     outcome: Mutex<Option<Outcome>>,
+    /// Per-worker [`SolveTrace`]s merged here as workers exit.
+    trace: Mutex<SolveTrace>,
 }
 
 /// Entry point used by [`MipSolver::solve`] when `threads > 1`.
@@ -135,9 +137,13 @@ pub(super) fn solve(
         lp_iterations: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
         outcome: Mutex::new(None),
+        trace: Mutex::new(SolveTrace::default()),
     };
+    let mut mip_span = billcap_obs::span("mip");
     billcap_rt::run_workers(threads, |w| shared.run_worker(w));
-    shared.into_result()
+    let result = shared.into_result();
+    super::finish_obs(&mut mip_span, result.as_ref().ok());
+    result
 }
 
 impl Shared<'_> {
@@ -145,10 +151,10 @@ impl Shared<'_> {
         key_from_bits(self.incumbent_bits.load(Ordering::Acquire))
     }
 
-    /// Records an improving incumbent. Ties on the key keep the
-    /// lexicographically smaller value vector, so the winning solution
-    /// does not depend on worker scheduling.
-    fn offer_incumbent(&self, key: f64, objective: f64, values: Vec<f64>) {
+    /// Records an improving incumbent, returning whether it was accepted.
+    /// Ties on the key keep the lexicographically smaller value vector,
+    /// so the winning solution does not depend on worker scheduling.
+    fn offer_incumbent(&self, key: f64, objective: f64, values: Vec<f64>) -> bool {
         let mut inc = self.incumbent.lock().expect("incumbent mutex");
         let accept = match &*inc {
             None => true,
@@ -163,11 +169,13 @@ impl Shared<'_> {
                     objective,
                     values,
                     iterations: 0,
+                    degenerate: 0,
                     mip: None,
                     duals: None,
                 },
             ));
         }
+        accept
     }
 
     /// Finishes the expansion of worker `w`'s node: pushes `children`,
@@ -215,9 +223,16 @@ impl Shared<'_> {
     }
 
     fn run_worker(&self, w: usize) {
+        let mut trace = SolveTrace::default();
+        self.worker_loop(w, &mut trace);
+        self.trace.lock().expect("trace mutex").merge(&trace);
+    }
+
+    fn worker_loop(&self, w: usize, trace: &mut SolveTrace) {
         let mut work = self.model.clone();
+        let obs_on = billcap_obs::enabled();
         loop {
-            let node = {
+            let (node, depth_seen) = {
                 let mut f = self.frontier.lock().expect("frontier mutex");
                 loop {
                     if self.stop.load(Ordering::Acquire) || f.finished {
@@ -228,7 +243,11 @@ impl Shared<'_> {
                     if let Some(n) = f.heap.pop() {
                         f.active += 1;
                         f.in_flight[w] = n.bound;
-                        break n;
+                        // Open nodes plus the ones being expanded: the
+                        // frontier as the sequential search would see it.
+                        let depth = f.heap.len() + f.active;
+                        trace.max_frontier = trace.max_frontier.max(depth);
+                        break (n, f.heap.len());
                     }
                     if f.active == 0 {
                         f.finished = true;
@@ -238,10 +257,14 @@ impl Shared<'_> {
                     f = self.work_ready.wait(f).expect("frontier mutex");
                 }
             };
+            if obs_on {
+                billcap_obs::observe("milp.bnb.queue_depth", depth_seen as f64);
+            }
 
             // Global-bound prune against the freshest incumbent.
             let inc_key = self.incumbent_key();
             if node.bound >= inc_key - self.solver.prune_slack(inc_key) {
+                trace.pruned_by_bound += 1;
                 self.complete(w, Vec::new());
                 continue;
             }
@@ -249,6 +272,7 @@ impl Shared<'_> {
             // Node budget (counts expanded nodes, like the sequential
             // search).
             let seen = self.nodes.fetch_add(1, Ordering::Relaxed);
+            trace.max_depth = trace.max_depth.max(node.depth);
             if seen >= self.solver.max_nodes {
                 self.nodes.fetch_sub(1, Ordering::Relaxed);
                 let node_bound = node.bound;
@@ -265,6 +289,7 @@ impl Shared<'_> {
             let lp_sol = match self.solver.lp.solve(&work) {
                 Ok(s) => s,
                 Err(SolveError::Infeasible) => {
+                    trace.pruned_infeasible += 1;
                     let bound = self.complete(w, Vec::new());
                     self.check_gap(bound);
                     continue;
@@ -277,9 +302,14 @@ impl Shared<'_> {
             };
             self.lp_iterations
                 .fetch_add(lp_sol.iterations, Ordering::Relaxed);
+            trace.degenerate_pivots += lp_sol.degenerate;
+            if obs_on {
+                billcap_obs::observe("milp.lp.iterations_per_node", lp_sol.iterations as f64);
+            }
             let node_key = self.sign * lp_sol.objective;
             let inc_key = self.incumbent_key();
             if node_key >= inc_key - self.solver.prune_slack(inc_key) {
+                trace.pruned_by_bound += 1;
                 let bound = self.complete(w, Vec::new());
                 self.check_gap(bound);
                 continue;
@@ -294,8 +324,8 @@ impl Shared<'_> {
                     }
                     let objective = self.model.eval_objective(&values);
                     let key = self.sign * objective;
-                    if key < inc_key {
-                        self.offer_incumbent(key, objective, values);
+                    if key < inc_key && self.offer_incumbent(key, objective, values) {
+                        trace.incumbent_updates += 1;
                     }
                     let bound = self.complete(w, Vec::new());
                     self.check_gap(bound);
@@ -336,12 +366,14 @@ impl Shared<'_> {
         let lp_iterations = self.lp_iterations.into_inner();
         let incumbent = self.incumbent.into_inner().expect("incumbent mutex");
         let outcome = self.outcome.into_inner().expect("outcome mutex");
+        let trace = self.trace.into_inner().expect("trace mutex");
         let sign = self.sign;
         match outcome {
             Some(Outcome::Error(e)) => Err(e),
             Some(Outcome::GapReached { bound_key }) => {
                 let (key, mut sol) = incumbent.expect("gap stop implies an incumbent");
                 sol.iterations = lp_iterations;
+                sol.degenerate = trace.degenerate_pivots;
                 // A raced bound snapshot can momentarily pass the incumbent;
                 // the incumbent itself is always a valid dual bound, so clamp.
                 let bound_key = bound_key.min(key);
@@ -351,6 +383,7 @@ impl Shared<'_> {
                     lp_iterations,
                     best_bound: sign * bound_key,
                     gap,
+                    trace,
                 });
                 Ok(sol)
             }
@@ -358,6 +391,7 @@ impl Shared<'_> {
                 Some((key, mut sol)) => {
                     sol.status = Status::Feasible;
                     sol.iterations = lp_iterations;
+                    sol.degenerate = trace.degenerate_pivots;
                     let bound_key = bound_key.min(key);
                     let gap = (key - bound_key).abs() / sol.objective.abs().max(1.0);
                     sol.mip = Some(MipStats {
@@ -365,6 +399,7 @@ impl Shared<'_> {
                         lp_iterations,
                         best_bound: sign * bound_key,
                         gap,
+                        trace,
                     });
                     Ok(sol)
                 }
@@ -373,11 +408,13 @@ impl Shared<'_> {
             None => match incumbent {
                 Some((_, mut sol)) => {
                     sol.iterations = lp_iterations;
+                    sol.degenerate = trace.degenerate_pivots;
                     sol.mip = Some(MipStats {
                         nodes,
                         lp_iterations,
                         best_bound: sol.objective,
                         gap: 0.0,
+                        trace,
                     });
                     Ok(sol)
                 }

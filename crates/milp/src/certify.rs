@@ -63,77 +63,139 @@ impl Default for CertifyOptions {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
     /// `values` has the wrong length for the model.
-    Dimension { expected: usize, got: usize },
+    Dimension {
+        /// The model's variable count.
+        expected: usize,
+        /// The solution's value count.
+        got: usize,
+    },
     /// A variable value (or the objective) is NaN/infinite.
-    NonFinite { what: String, value: f64 },
+    NonFinite {
+        /// What carried the bad value (variable name or "objective").
+        what: String,
+        /// The non-finite value itself.
+        value: f64,
+    },
     /// A variable sits outside its bounds by `slack`.
     Bound {
+        /// Variable index.
         var: usize,
+        /// Variable name.
         name: String,
+        /// Offending value.
         value: f64,
+        /// Lower bound.
         lb: f64,
+        /// Upper bound.
         ub: f64,
+        /// Distance outside the bound interval.
         slack: f64,
     },
     /// An integer/binary variable is fractional by `distance`.
     Integrality {
+        /// Variable index.
         var: usize,
+        /// Variable name.
         name: String,
+        /// Offending (fractional) value.
         value: f64,
+        /// Distance to the nearest integer.
         distance: f64,
     },
     /// A constraint row is violated by `slack` (beyond tolerance).
     Constraint {
+        /// Constraint index.
         index: usize,
+        /// Constraint name.
         name: String,
+        /// Evaluated left-hand side at the solution.
         lhs: f64,
+        /// Comparison operator.
         op: ConstraintOp,
+        /// Right-hand-side constant.
         rhs: f64,
+        /// Violation magnitude beyond tolerance.
         slack: f64,
     },
     /// The reported objective differs from the objective re-evaluated at
     /// the returned point.
     Objective {
+        /// Objective claimed by the solution.
         reported: f64,
+        /// Objective re-evaluated at the returned point.
         recomputed: f64,
+        /// Absolute difference.
         error: f64,
     },
     /// The dual bound lies on the wrong side of the objective
     /// (a minimization bound above the objective, or vice versa).
     BoundSide {
+        /// Objective of the solution.
         objective: f64,
+        /// Reported dual bound.
         best_bound: f64,
+        /// How far the bound sits on the wrong side.
         excess: f64,
     },
     /// The reported gap disagrees with `|objective - best_bound|`.
-    GapMismatch { reported: f64, implied: f64 },
+    GapMismatch {
+        /// Gap claimed in [`crate::MipStats`].
+        reported: f64,
+        /// Gap implied by objective and best bound.
+        implied: f64,
+    },
     /// A solution claiming optimality carries a non-trivial gap.
-    OptimalWithGap { gap: f64 },
+    OptimalWithGap {
+        /// The non-trivial gap reported.
+        gap: f64,
+    },
     /// The dual vector has the wrong length.
-    DualCount { expected: usize, got: usize },
+    DualCount {
+        /// The model's constraint count.
+        expected: usize,
+        /// The solution's dual count.
+        got: usize,
+    },
     /// A dual has the wrong sign for its constraint sense.
     DualSign {
+        /// Constraint index.
         index: usize,
+        /// Constraint name.
         name: String,
+        /// Offending dual value.
         dual: f64,
     },
     /// A nonzero dual on a slack (inactive) constraint.
     ComplementarySlackness {
+        /// Constraint index.
         index: usize,
+        /// Constraint name.
         name: String,
+        /// Nonzero dual on the inactive row.
         dual: f64,
+        /// The row's (nonzero) slack.
         slack: f64,
     },
     /// The reduced cost implied by the duals has the wrong sign for the
     /// variable's position against its bounds.
     DualFeasibility {
+        /// Variable index.
         var: usize,
+        /// Variable name.
         name: String,
+        /// Offending reduced cost.
         reduced_cost: f64,
     },
     /// Weak/strong duality fails: the dual objective reconstructed from
     /// the duals does not match the primal objective.
-    Duality { primal: f64, dual: f64, error: f64 },
+    Duality {
+        /// Primal objective.
+        primal: f64,
+        /// Dual objective reconstructed from the duals.
+        dual: f64,
+        /// Absolute difference beyond tolerance.
+        error: f64,
+    },
 }
 
 impl fmt::Display for Violation {

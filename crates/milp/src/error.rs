@@ -10,10 +10,16 @@ pub enum SolveError {
     /// The objective can be improved without bound over the feasible region.
     Unbounded,
     /// The simplex iteration limit was reached before convergence.
-    IterationLimit { iterations: usize },
+    IterationLimit {
+        /// Pivots performed before giving up.
+        iterations: usize,
+    },
     /// The branch-and-bound node limit was reached without proving
     /// optimality. Carries the best incumbent found, if any.
-    NodeLimit { nodes: usize },
+    NodeLimit {
+        /// Nodes expanded before giving up.
+        nodes: usize,
+    },
     /// The model itself is malformed (e.g. a variable with `lb > ub`,
     /// or a constraint referencing a variable from another model).
     InvalidModel(String),

@@ -38,6 +38,8 @@
 //! assert!((sol.objective - 10.0).abs() < 1e-6); // x = 2, y = 2
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod branch;
 pub mod certify;
 pub mod error;
@@ -60,7 +62,7 @@ pub use model::{Constraint, ConstraintOp, Model, Sense, VarId, VarType, Variable
 pub use oracle::{brute_force_solve, brute_force_solve_capped};
 pub use presolve::{presolve, PresolveResult};
 pub use simplex::{LpSolver, Pricing};
-pub use solution::{MipStats, Solution, Status};
+pub use solution::{MipStats, Solution, SolveTrace, Status};
 
 /// Default feasibility / optimality tolerance used throughout the solver.
 pub const TOL: f64 = 1e-9;

@@ -36,9 +36,13 @@ pub enum VarType {
 /// A decision variable.
 #[derive(Debug, Clone)]
 pub struct Variable {
+    /// Human-readable name, used in diagnostics and LP export.
     pub name: String,
+    /// Continuous, integer or binary.
     pub var_type: VarType,
+    /// Lower bound (may be `-inf`).
     pub lb: f64,
+    /// Upper bound (may be `+inf`).
     pub ub: f64,
 }
 
@@ -56,16 +60,22 @@ pub enum ConstraintOp {
 /// A linear constraint `sum(coeff * var) op rhs`.
 #[derive(Debug, Clone)]
 pub struct Constraint {
+    /// Human-readable name, used in diagnostics and LP export.
     pub name: String,
+    /// `(variable, coefficient)` pairs of the linear expression.
     pub terms: Vec<(VarId, f64)>,
+    /// Comparison operator against [`Constraint::rhs`].
     pub op: ConstraintOp,
+    /// Right-hand-side constant.
     pub rhs: f64,
 }
 
 /// Optimization direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sense {
+    /// Find the smallest objective value.
     Minimize,
+    /// Find the largest objective value.
     Maximize,
 }
 
@@ -77,7 +87,9 @@ pub enum Sense {
 /// (integer-feasible optimum).
 #[derive(Debug, Clone)]
 pub struct Model {
+    /// Model name, used in diagnostics and LP export.
     pub name: String,
+    /// Optimization direction.
     pub sense: Sense,
     variables: Vec<Variable>,
     constraints: Vec<Constraint>,

@@ -51,6 +51,7 @@ pub fn brute_force_solve_capped(
             lp_iterations: sol.iterations,
             best_bound: sol.objective,
             gap: 0.0,
+            trace: Default::default(),
         });
         return Ok(sol);
     }
@@ -135,11 +136,13 @@ pub fn brute_force_solve_capped(
                     objective,
                     values,
                     iterations: lp_iterations,
+                    degenerate: 0,
                     mip: Some(MipStats {
                         nodes,
                         lp_iterations,
                         best_bound: objective,
                         gap: 0.0,
+                        trace: Default::default(),
                     }),
                     duals: None,
                 });

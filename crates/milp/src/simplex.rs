@@ -332,10 +332,11 @@ impl LpSolver {
         }
 
         let mut iterations = 0usize;
+        let mut degenerate = 0usize;
 
         // --- 5. phase 1 ---
         if has_artificials {
-            self.optimize(&mut t, true, &mut iterations)?;
+            self.optimize(&mut t, true, &mut iterations, &mut degenerate)?;
             let phase1_obj = -t.cost1.as_ref().expect("phase-1 cost row")[total_cols];
             if phase1_obj > 1e-7 {
                 return Err(SolveError::Infeasible);
@@ -365,7 +366,7 @@ impl LpSolver {
         }
 
         // --- 6. phase 2 ---
-        self.optimize(&mut t, false, &mut iterations)?;
+        self.optimize(&mut t, false, &mut iterations, &mut degenerate)?;
 
         // --- 7. extract primal values ---
         let mut y = vec![0.0; total_cols];
@@ -402,6 +403,7 @@ impl LpSolver {
             objective,
             values,
             iterations,
+            degenerate,
             mip: None,
             duals: Some(duals),
         })
@@ -409,11 +411,13 @@ impl LpSolver {
 
     /// Runs primal simplex pivots on `t` until optimality for the active
     /// cost row (`phase1` selects which row prices the columns).
+    /// `degenerate` accumulates pivots whose ratio-test step was ~zero.
     fn optimize(
         &self,
         t: &mut Tableau,
         phase1: bool,
         iterations: &mut usize,
+        degenerate: &mut usize,
     ) -> Result<(), SolveError> {
         let cols = t.cols;
         loop {
@@ -472,6 +476,9 @@ impl LpSolver {
             let Some(r) = leave else {
                 return Err(SolveError::Unbounded);
             };
+            if best_ratio <= self.tol {
+                *degenerate += 1;
+            }
             t.pivot(r, c);
             *iterations += 1;
         }

@@ -13,6 +13,47 @@ pub enum Status {
     Feasible,
 }
 
+/// Deterministic search-shape counters from a branch-and-bound solve.
+///
+/// Collected unconditionally (the counters are a handful of integer
+/// increments per node, far below LP-solve cost) so every [`MipStats`]
+/// carries them regardless of whether tracing is enabled. Counts hold
+/// no timing, so they stay comparable across machines; note that under
+/// a parallel solve the *pruning* counts depend on worker scheduling
+/// (the incumbent arrives in a different order), while the objective
+/// remains deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveTrace {
+    /// Nodes discarded because their relaxation bound could not beat the
+    /// incumbent (both pre-LP pops and post-LP bound prunes).
+    pub pruned_by_bound: usize,
+    /// Nodes whose LP relaxation was infeasible.
+    pub pruned_infeasible: usize,
+    /// Times a new incumbent replaced (or first established) the best
+    /// known integer solution.
+    pub incumbent_updates: usize,
+    /// Deepest expanded node.
+    pub max_depth: usize,
+    /// Largest open-node frontier observed.
+    pub max_frontier: usize,
+    /// Total degenerate simplex pivots (ratio-test steps with ~zero step
+    /// length) across all node relaxations.
+    pub degenerate_pivots: usize,
+}
+
+impl SolveTrace {
+    /// Merges a worker's trace into this one (sums for counts, max for
+    /// the depth/frontier water marks).
+    pub fn merge(&mut self, other: &SolveTrace) {
+        self.pruned_by_bound += other.pruned_by_bound;
+        self.pruned_infeasible += other.pruned_infeasible;
+        self.incumbent_updates += other.incumbent_updates;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.max_frontier = self.max_frontier.max(other.max_frontier);
+        self.degenerate_pivots += other.degenerate_pivots;
+    }
+}
+
 /// Search statistics from a MIP solve.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MipStats {
@@ -24,6 +65,8 @@ pub struct MipStats {
     pub best_bound: f64,
     /// Relative optimality gap `|obj - bound| / max(1, |obj|)`.
     pub gap: f64,
+    /// Search-shape counters (prunes, incumbent updates, depth, …).
+    pub trace: SolveTrace,
 }
 
 impl MipStats {
@@ -47,6 +90,10 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Simplex iterations used (for an LP) or accumulated (for a MIP).
     pub iterations: usize,
+    /// Degenerate simplex pivots among [`Solution::iterations`] — ratio-test
+    /// steps that changed the basis without moving the objective. A high
+    /// ratio signals a degenerate instance (and explains Bland fallbacks).
+    pub degenerate: usize,
     /// Branch-and-bound statistics; `None` for pure LP solves.
     pub mip: Option<MipStats>,
     /// Constraint duals (shadow prices) in the model's sense:
@@ -101,6 +148,7 @@ mod tests {
             objective: 1.5,
             values: vec![0.999999999, 2.0],
             iterations: 3,
+            degenerate: 0,
             mip: None,
             duals: None,
         };
@@ -115,6 +163,7 @@ mod tests {
             objective: 0.0,
             values: vec![0.999999999, 0.4, f64::NAN],
             iterations: 0,
+            degenerate: 0,
             mip: None,
             duals: None,
         };
@@ -132,6 +181,7 @@ mod tests {
             objective: 0.0,
             values: vec![0.4],
             iterations: 0,
+            degenerate: 0,
             mip: None,
             duals: None,
         };
@@ -145,6 +195,7 @@ mod tests {
             lp_iterations: 1,
             best_bound: 90.0,
             gap: 0.1,
+            trace: SolveTrace::default(),
         };
         assert!((stats.implied_gap(100.0) - 0.1).abs() < 1e-12);
         // Small objectives normalize by 1, not by |obj|.

@@ -1,0 +1,459 @@
+//! Exporters: JSONL (machine-readable, line-per-record) and a
+//! human-readable table, plus a JSONL parser for round-trip testing and
+//! offline analysis.
+//!
+//! ## JSONL format
+//!
+//! One JSON object per line; every object carries a `"type"` field:
+//!
+//! | `type`       | contents                                                        |
+//! |--------------|-----------------------------------------------------------------|
+//! | `meta`       | `orphans`, `events`, counts of each record kind                 |
+//! | `span`       | one completed span: `path`, `thread`, `seq`, `start_ns`, `dur_ns`, `fields` |
+//! | `span_stats` | aggregate per path: `count`, `total_ns`, `min_ns`, `max_ns`     |
+//! | `counter`    | `name`, `value`                                                 |
+//! | `gauge`      | `name`, `last`, `min`, `max`, `sets`                            |
+//! | `histogram`  | `name`, `bounds`, `counts`, `sum`, `count`, `min`, `max`        |
+//!
+//! The `meta` line comes first, then `span` events in deterministic
+//! `(start_ns, thread, seq)` order, then the aggregates in name order.
+
+use crate::json::{JsonError, Value};
+use crate::metrics::{GaugeStat, HistogramSnapshot, SpanEvent, SpanStats, TraceSnapshot};
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn u(v: u64) -> Value {
+    Value::Int(v as i64)
+}
+
+/// A finite f64 as JSON; empty-histogram sentinels (`±inf`) map to null.
+fn f(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Float(v)
+    } else {
+        Value::Null
+    }
+}
+
+/// Renders a snapshot as JSONL. See the module docs for the format.
+pub fn to_jsonl(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    let meta = obj(vec![
+        ("type", Value::Str("meta".into())),
+        ("orphans", u(snap.orphans)),
+        ("events", u(snap.events.len() as u64)),
+        ("span_paths", u(snap.spans.len() as u64)),
+        ("counters", u(snap.counters.len() as u64)),
+        ("gauges", u(snap.gauges.len() as u64)),
+        ("histograms", u(snap.histograms.len() as u64)),
+    ]);
+    out.push_str(&meta.render());
+    out.push('\n');
+
+    for e in &snap.events {
+        let fields = Value::Obj(
+            e.fields
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                .collect(),
+        );
+        let line = obj(vec![
+            ("type", Value::Str("span".into())),
+            ("path", Value::Str(e.path.clone())),
+            ("thread", u(e.thread)),
+            ("seq", u(e.seq)),
+            ("start_ns", u(e.start_ns)),
+            ("dur_ns", u(e.dur_ns)),
+            ("fields", fields),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for (path, s) in &snap.spans {
+        let line = obj(vec![
+            ("type", Value::Str("span_stats".into())),
+            ("path", Value::Str(path.clone())),
+            ("count", u(s.count)),
+            ("total_ns", u(s.total_ns)),
+            ("min_ns", u(s.min_ns)),
+            ("max_ns", u(s.max_ns)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for (name, v) in &snap.counters {
+        let line = obj(vec![
+            ("type", Value::Str("counter".into())),
+            ("name", Value::Str(name.clone())),
+            ("value", u(*v)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for (name, g) in &snap.gauges {
+        let line = obj(vec![
+            ("type", Value::Str("gauge".into())),
+            ("name", Value::Str(name.clone())),
+            ("last", Value::Float(g.last)),
+            ("min", Value::Float(g.min)),
+            ("max", Value::Float(g.max)),
+            ("sets", u(g.sets)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        let line = obj(vec![
+            ("type", Value::Str("histogram".into())),
+            ("name", Value::Str(name.clone())),
+            (
+                "bounds",
+                Value::Arr(h.bounds.iter().map(|b| Value::Float(*b)).collect()),
+            ),
+            (
+                "counts",
+                Value::Arr(h.counts.iter().map(|c| u(*c)).collect()),
+            ),
+            ("sum", Value::Float(h.sum)),
+            ("count", u(h.count)),
+            ("min", f(h.min)),
+            ("max", f(h.max)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, JsonError> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| JsonError {
+        offset: 0,
+        message: format!("missing or non-integer field {key:?}"),
+    })
+}
+
+fn need_f64(v: &Value, key: &str) -> Result<f64, JsonError> {
+    v.get(key).and_then(Value::as_f64).ok_or_else(|| JsonError {
+        offset: 0,
+        message: format!("missing or non-numeric field {key:?}"),
+    })
+}
+
+fn need_str(v: &Value, key: &str) -> Result<String, JsonError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| JsonError {
+            offset: 0,
+            message: format!("missing or non-string field {key:?}"),
+        })
+}
+
+/// Parses JSONL produced by [`to_jsonl`] back into a snapshot.
+///
+/// Inverse of [`to_jsonl`] up to the empty-histogram min/max sentinels
+/// (exported as `null`, restored as `±inf`). Unknown record types are
+/// an error so format drift is caught by the round-trip test.
+pub fn parse_jsonl(text: &str) -> Result<TraceSnapshot, JsonError> {
+    let mut snap = TraceSnapshot::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Value::parse(line)?;
+        let kind = need_str(&v, "type")?;
+        match kind.as_str() {
+            "meta" => {
+                snap.orphans = need_u64(&v, "orphans")?;
+            }
+            "span" => {
+                let fields = match v.get("fields") {
+                    Some(Value::Obj(pairs)) => pairs
+                        .iter()
+                        .map(|(k, fv)| {
+                            fv.as_f64()
+                                .map(|x| (k.clone(), x))
+                                .ok_or_else(|| JsonError {
+                                    offset: 0,
+                                    message: format!("non-numeric span field {k:?}"),
+                                })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => Vec::new(),
+                };
+                snap.events.push(SpanEvent {
+                    path: need_str(&v, "path")?,
+                    thread: need_u64(&v, "thread")?,
+                    seq: need_u64(&v, "seq")?,
+                    start_ns: need_u64(&v, "start_ns")?,
+                    dur_ns: need_u64(&v, "dur_ns")?,
+                    fields,
+                });
+            }
+            "span_stats" => {
+                snap.spans.insert(
+                    need_str(&v, "path")?,
+                    SpanStats {
+                        count: need_u64(&v, "count")?,
+                        total_ns: need_u64(&v, "total_ns")?,
+                        min_ns: need_u64(&v, "min_ns")?,
+                        max_ns: need_u64(&v, "max_ns")?,
+                    },
+                );
+            }
+            "counter" => {
+                snap.counters
+                    .insert(need_str(&v, "name")?, need_u64(&v, "value")?);
+            }
+            "gauge" => {
+                snap.gauges.insert(
+                    need_str(&v, "name")?,
+                    GaugeStat {
+                        last: need_f64(&v, "last")?,
+                        min: need_f64(&v, "min")?,
+                        max: need_f64(&v, "max")?,
+                        sets: need_u64(&v, "sets")?,
+                    },
+                );
+            }
+            "histogram" => {
+                let bounds = v
+                    .get("bounds")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| JsonError {
+                        offset: 0,
+                        message: "missing histogram bounds".into(),
+                    })?
+                    .iter()
+                    .map(|b| {
+                        b.as_f64().ok_or_else(|| JsonError {
+                            offset: 0,
+                            message: "non-numeric histogram bound".into(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let counts = v
+                    .get("counts")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| JsonError {
+                        offset: 0,
+                        message: "missing histogram counts".into(),
+                    })?
+                    .iter()
+                    .map(|c| {
+                        c.as_u64().ok_or_else(|| JsonError {
+                            offset: 0,
+                            message: "non-integer histogram count".into(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let count = need_u64(&v, "count")?;
+                let min = match v.get("min") {
+                    Some(Value::Null) | None => f64::INFINITY,
+                    Some(other) => other.as_f64().ok_or_else(|| JsonError {
+                        offset: 0,
+                        message: "non-numeric histogram min".into(),
+                    })?,
+                };
+                let max = match v.get("max") {
+                    Some(Value::Null) | None => f64::NEG_INFINITY,
+                    Some(other) => other.as_f64().ok_or_else(|| JsonError {
+                        offset: 0,
+                        message: "non-numeric histogram max".into(),
+                    })?,
+                };
+                snap.histograms.insert(
+                    need_str(&v, "name")?,
+                    HistogramSnapshot {
+                        bounds,
+                        counts,
+                        sum: need_f64(&v, "sum")?,
+                        count,
+                        min,
+                        max,
+                    },
+                );
+            }
+            other => {
+                return Err(JsonError {
+                    offset: 0,
+                    message: format!("unknown record type {other:?}"),
+                })
+            }
+        }
+    }
+    snap.sort_events();
+    Ok(snap)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a snapshot as a human-readable table (spans, counters,
+/// gauges, histograms), suitable for printing to stderr.
+pub fn to_table(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("spans:\n");
+        let width = snap.spans.keys().map(|p| p.len()).max().unwrap_or(4).max(4);
+        out.push_str(&format!(
+            "  {:width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "path", "count", "total", "mean", "min", "max"
+        ));
+        for (path, s) in &snap.spans {
+            let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
+            out.push_str(&format!(
+                "  {:width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                path,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(mean),
+                fmt_ns(s.min_ns),
+                fmt_ns(s.max_ns)
+            ));
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name} = {v}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, g) in &snap.gauges {
+            out.push_str(&format!(
+                "  {name} = {} (min {}, max {}, sets {})\n",
+                g.last, g.min, g.max, g.sets
+            ));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snap.histograms {
+            let mean = h.mean().unwrap_or(0.0);
+            out.push_str(&format!(
+                "  {name}: count {} mean {:.2} min {} max {}\n",
+                h.count,
+                mean,
+                if h.min.is_finite() {
+                    format!("{:.2}", h.min)
+                } else {
+                    "-".into()
+                },
+                if h.max.is_finite() {
+                    format!("{:.2}", h.max)
+                } else {
+                    "-".into()
+                },
+            ));
+        }
+    }
+    if snap.orphans > 0 {
+        out.push_str(&format!("orphaned spans: {}\n", snap.orphans));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let r = Recorder::new();
+        {
+            let mut s = r.span("hour");
+            s.field("cost", 1234.5);
+            s.field("nodes", 42.0);
+            let _inner = r.span("step1");
+        }
+        r.counter("sim.hours", 1);
+        r.counter("milp.bnb.nodes", 42);
+        r.gauge("budget.slack", -3.25);
+        r.observe_with("queue.depth", 2.0, &[1.0, 4.0, 16.0]);
+        r.observe_with("queue.depth", 7.0, &[1.0, 4.0, 16.0]);
+        r.snapshot()
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless() {
+        let snap = sample_snapshot();
+        let text = to_jsonl(&snap);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = TraceSnapshot::default();
+        let back = parse_jsonl(&to_jsonl(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_histogram_sentinels_survive() {
+        let mut snap = TraceSnapshot::default();
+        snap.histograms
+            .insert("h".into(), HistogramSnapshot::new(&[1.0, 2.0]));
+        let back = parse_jsonl(&to_jsonl(&snap)).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.histograms["h"].min, f64::INFINITY);
+    }
+
+    #[test]
+    fn jsonl_leads_with_meta() {
+        let text = to_jsonl(&sample_snapshot());
+        let first = text.lines().next().unwrap();
+        let v = Value::parse(first).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(v.get("orphans").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_type() {
+        assert!(parse_jsonl("{\"type\":\"bogus\"}").is_err());
+        assert!(parse_jsonl("{\"no_type\":1}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let snap = sample_snapshot();
+        let text = to_jsonl(&snap).replace('\n', "\n\n");
+        assert_eq!(parse_jsonl(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn table_mentions_all_sections() {
+        let table = to_table(&sample_snapshot());
+        assert!(table.contains("spans:"));
+        assert!(table.contains("hour/step1"));
+        assert!(table.contains("counters:"));
+        assert!(table.contains("milp.bnb.nodes = 42"));
+        assert!(table.contains("gauges:"));
+        assert!(table.contains("histograms:"));
+        assert!(!table.contains("orphaned"));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,126 @@
+//! Trace correctness under `billcap-rt`'s scoped worker pool: spans
+//! stay balanced (no orphans), and counters/histograms merged from
+//! worker threads equal the totals of an equivalent sequential run.
+
+use billcap_obs::Recorder;
+use billcap_rt::{par_map_threads, run_workers};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const ITEMS: usize = 200;
+const THREADS: usize = 4;
+
+fn work(rec: &Recorder, item: usize) -> u64 {
+    let mut span = rec.span("item");
+    span.field("idx", item as f64);
+    rec.counter("items", 1);
+    rec.counter("weight", item as u64);
+    rec.observe_with("size", (item % 17) as f64, &[4.0, 8.0, 16.0]);
+    {
+        let _inner = rec.span("inner");
+        rec.counter("inner.calls", 1);
+    }
+    item as u64
+}
+
+#[test]
+fn pool_merge_equals_sequential_totals() {
+    // Sequential reference run.
+    let seq = Recorder::new();
+    let mut seq_sum = 0u64;
+    for i in 0..ITEMS {
+        seq_sum += work(&seq, i);
+    }
+    let seq_snap = seq.snapshot();
+
+    // Parallel run over the same items via the rt pool.
+    let par = Recorder::new();
+    let results = par_map_threads(&(0..ITEMS).collect::<Vec<_>>(), THREADS, |&i| work(&par, i));
+    let par_snap = par.snapshot();
+
+    assert_eq!(results.iter().sum::<u64>(), seq_sum);
+
+    // No orphaned spans on either side.
+    assert_eq!(seq_snap.orphans, 0);
+    assert_eq!(par_snap.orphans, 0);
+
+    // Merged counters equal the sequential totals exactly.
+    assert_eq!(par_snap.counters, seq_snap.counters);
+    assert_eq!(par_snap.counters["items"], ITEMS as u64);
+    assert_eq!(par_snap.counters["weight"], (0..ITEMS as u64).sum::<u64>());
+
+    // Span counts and nesting paths match (durations differ, counts
+    // must not).
+    assert_eq!(par_snap.spans.len(), seq_snap.spans.len());
+    for (path, s) in &seq_snap.spans {
+        assert_eq!(
+            par_snap.spans[path].count, s.count,
+            "span count mismatch at {path}"
+        );
+    }
+    assert_eq!(par_snap.spans["item"].count, ITEMS as u64);
+    assert_eq!(par_snap.spans["item/inner"].count, ITEMS as u64);
+
+    // Histogram bucket counts merge exactly.
+    assert_eq!(
+        par_snap.histograms["size"].counts,
+        seq_snap.histograms["size"].counts
+    );
+    assert_eq!(par_snap.histograms["size"].count, ITEMS as u64);
+
+    // One event per completed span.
+    assert_eq!(par_snap.events.len(), 2 * ITEMS);
+}
+
+#[test]
+fn raw_workers_merge_on_join() {
+    let rec = Recorder::new();
+    let cursor = AtomicUsize::new(0);
+    run_workers(THREADS, |_worker| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= ITEMS {
+            break;
+        }
+        let _span = rec.span("task");
+        rec.counter("done", 1);
+    });
+    // run_workers joins before returning, so every worker collector has
+    // dropped and merged: a snapshot here must be complete.
+    let snap = rec.snapshot();
+    assert_eq!(snap.counters["done"], ITEMS as u64);
+    assert_eq!(snap.spans["task"].count, ITEMS as u64);
+    assert_eq!(snap.orphans, 0);
+}
+
+#[test]
+fn nested_pool_spans_stay_per_thread() {
+    // A span opened on the caller thread must NOT become the parent of
+    // worker-thread spans (nesting is per thread by design), and the
+    // worker spans must not orphan anything.
+    let rec = Recorder::new();
+    {
+        let _outer = rec.span("caller");
+        par_map_threads(&[1, 2, 3, 4, 5], THREADS, |&i| {
+            let _s = rec.span("worker");
+            i * 2
+        });
+    }
+    let snap = rec.snapshot();
+    assert_eq!(snap.spans["caller"].count, 1);
+    assert_eq!(snap.spans["worker"].count, 5);
+    assert!(!snap.spans.contains_key("caller/worker"));
+    assert_eq!(snap.orphans, 0);
+}
+
+#[test]
+fn thread_ordinals_are_distinct_per_event() {
+    let rec = Recorder::new();
+    run_workers(THREADS, |_w| {
+        let _s = rec.span("t");
+    });
+    let snap = rec.snapshot();
+    assert_eq!(snap.events.len(), THREADS);
+    let mut threads: Vec<u64> = snap.events.iter().map(|e| e.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    assert_eq!(threads.len(), THREADS, "each worker gets its own ordinal");
+}

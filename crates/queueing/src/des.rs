@@ -17,13 +17,31 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Distribution {
     /// Point mass at `value` (SCV 0).
-    Deterministic { value: f64 },
+    Deterministic {
+        /// The constant time.
+        value: f64,
+    },
     /// Exponential with the given mean (SCV 1).
-    Exponential { mean: f64 },
+    Exponential {
+        /// Mean time.
+        mean: f64,
+    },
     /// Erlang-k: sum of `k` exponentials (SCV `1/k`).
-    Erlang { k: u32, mean: f64 },
+    Erlang {
+        /// Number of exponential phases.
+        k: u32,
+        /// Mean of the whole sum.
+        mean: f64,
+    },
     /// Two-phase balanced-means hyperexponential (SCV > 1).
-    HyperExp { p: f64, mean1: f64, mean2: f64 },
+    HyperExp {
+        /// Probability of drawing from phase 1.
+        p: f64,
+        /// Mean of phase 1.
+        mean1: f64,
+        /// Mean of phase 2.
+        mean2: f64,
+    },
 }
 
 impl Distribution {
@@ -121,11 +139,15 @@ impl SimStats {
 /// FCFS G/G/m queue simulator.
 #[derive(Debug, Clone)]
 pub struct QueueSim {
+    /// Number of identical servers.
     pub servers: u64,
+    /// Inter-arrival time distribution.
     pub interarrival: Distribution,
+    /// Service time distribution.
     pub service: Distribution,
     /// Requests discarded as warm-up before statistics collection.
     pub warmup: u64,
+    /// RNG seed (runs are deterministic per seed).
     pub seed: u64,
 }
 

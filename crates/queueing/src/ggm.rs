@@ -8,9 +8,19 @@ use std::fmt;
 pub enum QueueingError {
     /// The target response time is not achievable at any server count
     /// (it is at or below the bare service time `1/μ`).
-    UnreachableTarget { target: f64, service_time: f64 },
+    UnreachableTarget {
+        /// The requested response-time target.
+        target: f64,
+        /// The bare service time `1/μ` it cannot beat.
+        service_time: f64,
+    },
     /// The system is unstable: arrivals exceed the service capacity.
-    Unstable { arrival_rate: f64, capacity: f64 },
+    Unstable {
+        /// Offered arrival rate.
+        arrival_rate: f64,
+        /// Total service capacity `nμ`.
+        capacity: f64,
+    },
 }
 
 impl fmt::Display for QueueingError {

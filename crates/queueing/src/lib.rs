@@ -31,6 +31,29 @@
 //! its tests confirm that the full Allen–Cunneen form tracks simulation
 //! within ~15 % and that the paper's conservative server sizing meets its
 //! response-time targets empirically.
+//!
+//! ## Example
+//!
+//! Size a site for an offered rate and check the resulting response time:
+//!
+//! ```
+//! use billcap_queueing::GgmModel;
+//!
+//! // 1000 requests/hour/server, C²_A = 4 (bursty), C²_B = 1.
+//! let model = GgmModel::new(1000.0, 4.0, 1.0);
+//! let target = 2.0 * model.service_time(); // twice the bare service time
+//!
+//! // Servers the local optimizer starts for 1M requests/hour...
+//! let servers = model.min_servers(1e6, target).unwrap();
+//! // ...and the simplified Allen–Cunneen response time they achieve.
+//! let response = model.response_time(servers, 1e6).unwrap();
+//! assert!(response <= target);
+//! // One server fewer misses the target (or is outright unstable).
+//! let worse = model.response_time(servers - 1, 1e6).unwrap_or(f64::INFINITY);
+//! assert!(worse > target);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod des;
 pub mod ggm;

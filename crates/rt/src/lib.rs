@@ -17,7 +17,7 @@
 //!   `rand`-style trait ([`Rng`], `random::<f64>()`, `seed_from_u64`).
 //! * [`pool`] — `std::thread::scope` worker pools: [`par_map`],
 //!   [`try_par_map`], and the raw [`run_workers`].
-//! * [`bench`] — a self-contained benchmark harness for
+//! * [`bench`](mod@bench) — a self-contained benchmark harness for
 //!   `harness = false` bench targets.
 
 pub mod bench;

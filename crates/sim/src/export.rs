@@ -123,6 +123,7 @@ mod tests {
                 power_mw: vec![],
                 price: vec![],
                 audit: None,
+                trace: None,
             }],
         };
         let csv = monthly_report_csv(&r);

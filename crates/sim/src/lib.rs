@@ -27,6 +27,6 @@ pub mod runner;
 pub mod scenario;
 pub mod table;
 
-pub use metrics::{HourAudit, HourRecord, MonthlyReport};
+pub use metrics::{HourAudit, HourRecord, HourTrace, MonthlyReport};
 pub use runner::{run_month, run_month_with, Strategy};
 pub use scenario::Scenario;

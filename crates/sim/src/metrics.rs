@@ -28,6 +28,26 @@ impl HourAudit {
     }
 }
 
+/// Solver-effort and budget-state observability for one simulated hour.
+///
+/// Collected by the runner for Cost Capping hours (baselines solve a
+/// single LP and are not traced). Wall time is machine-dependent; the
+/// node/iteration counts are deterministic for sequential solves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HourTrace {
+    /// Wall time of the whole hour's decision + evaluation (ns).
+    pub wall_ns: u64,
+    /// MILP solves the capper ran this hour (1–3).
+    pub solves: usize,
+    /// Branch-and-bound nodes across those solves.
+    pub nodes: usize,
+    /// Simplex iterations across those solves.
+    pub lp_iterations: usize,
+    /// The budgeter's intra-week carry-over balance *after* the hour was
+    /// billed ($); `None` when no budget was in force.
+    pub carryover: Option<f64>,
+}
+
 /// What happened in one simulated hour.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HourRecord {
@@ -55,6 +75,8 @@ pub struct HourRecord {
     pub price: Vec<f64>,
     /// Plan-audit outcome for the hour (`None` when not audited).
     pub audit: Option<HourAudit>,
+    /// Solver-effort trace (`None` for baselines).
+    pub trace: Option<HourTrace>,
 }
 
 impl HourRecord {
@@ -161,6 +183,29 @@ impl MonthlyReport {
     pub fn audit_clean(&self) -> bool {
         self.audit_failures() == 0
     }
+
+    /// Hours that carried a solver-effort trace.
+    pub fn traced_hours(&self) -> usize {
+        self.hours.iter().filter(|h| h.trace.is_some()).count()
+    }
+
+    /// Total branch-and-bound nodes across all traced hours.
+    pub fn total_bnb_nodes(&self) -> usize {
+        self.hours
+            .iter()
+            .filter_map(|h| h.trace.as_ref())
+            .map(|t| t.nodes)
+            .sum()
+    }
+
+    /// Total simplex iterations across all traced hours.
+    pub fn total_lp_iterations(&self) -> usize {
+        self.hours
+            .iter()
+            .filter_map(|h| h.trace.as_ref())
+            .map(|t| t.lp_iterations)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +228,7 @@ mod tests {
             power_mw: vec![],
             price: vec![],
             audit: None,
+            trace: None,
         }
     }
 

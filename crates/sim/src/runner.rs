@@ -1,6 +1,6 @@
 //! The hourly simulation loop.
 
-use crate::metrics::{HourAudit, HourRecord, MonthlyReport};
+use crate::metrics::{HourAudit, HourRecord, HourTrace, MonthlyReport};
 use crate::scenario::Scenario;
 use billcap_core::{
     audit_env_enabled, evaluate_allocation, BillCapper, CoreError, MinOnly, PlanAuditor,
@@ -95,6 +95,8 @@ pub fn run_month_with(
                     .as_ref()
                     .map(Budgeter::hourly_budget)
                     .unwrap_or(f64::INFINITY);
+                let t_start = std::time::Instant::now();
+                let mut hour_span = billcap_obs::span("hour");
                 let decision =
                     capper.decide_hour(&scenario.system, offered, premium, &d, hourly_budget)?;
                 let audit = auditor.as_ref().map(|a| {
@@ -105,6 +107,38 @@ pub fn run_month_with(
                 if let Some(b) = budgeter.as_mut() {
                     b.record_spend(realized.total_cost);
                 }
+                let carryover = budgeter.as_ref().map(Budgeter::carryover);
+                if hour_span.is_enabled() {
+                    hour_span.field("hour", t as f64);
+                    hour_span.field("cost", realized.total_cost);
+                    hour_span.field("solves", decision.trace.solves as f64);
+                    hour_span.field("nodes", decision.trace.nodes as f64);
+                    hour_span.field(
+                        "outcome",
+                        match decision.outcome {
+                            billcap_core::HourOutcome::WithinBudget => 0.0,
+                            billcap_core::HourOutcome::Throttled => 1.0,
+                            billcap_core::HourOutcome::PremiumOverride => 2.0,
+                        },
+                    );
+                    hour_span.field("premium_served", decision.premium_served);
+                    hour_span.field("ordinary_served", decision.ordinary_served);
+                    if let Some(c) = carryover {
+                        hour_span.field("carry", c);
+                    }
+                    for (i, &k) in decision.allocation.level.iter().enumerate() {
+                        hour_span.field(&format!("level_s{i}"), k as f64);
+                    }
+                    billcap_obs::counter("sim.hours", 1);
+                }
+                drop(hour_span);
+                let trace = HourTrace {
+                    wall_ns: t_start.elapsed().as_nanos() as u64,
+                    solves: decision.trace.solves,
+                    nodes: decision.trace.nodes,
+                    lp_iterations: decision.trace.lp_iterations,
+                    carryover,
+                };
                 HourRecord {
                     hour: t,
                     offered,
@@ -120,6 +154,7 @@ pub fn run_month_with(
                     power_mw: realized.power_mw,
                     price: realized.price,
                     audit,
+                    trace: Some(trace),
                 }
             }
             Strategy::MinOnlyAvg | Strategy::MinOnlyLow => {
@@ -148,6 +183,7 @@ pub fn run_month_with(
                     power_mw: realized.power_mw,
                     price: realized.price,
                     audit: None,
+                    trace: None,
                 }
             }
         };

@@ -117,6 +117,13 @@ impl Budgeter {
         self.current_hour
     }
 
+    /// The running intra-week carry-over balance ($): unused budget from
+    /// earlier hours of the current week (negative after an over-budget
+    /// hour). Resets to zero at each week boundary.
+    pub fn carryover(&self) -> f64 {
+        self.carryover
+    }
+
     /// Total cost recorded so far.
     pub fn spent(&self) -> f64 {
         self.spent_total

@@ -1,6 +1,11 @@
 //! Budget sweep: a full month of bill capping under each budget of the
 //! paper's ladder (its Figure 10), using the simulation harness.
 //!
+//! Paper anchors: Figure 10's claims that premium throughput is pinned
+//! at 100 % for *every* budget while ordinary throughput grows
+//! monotonically with it, and Figure 9's observation that the bill only
+//! exceeds the budget when premium traffic alone does.
+//!
 //! Run with: `cargo run --release --example budget_sweep`
 
 use billcap::sim::{run_month, Scenario, Strategy};

@@ -6,6 +6,11 @@
 //! hourly allotments force admission control on ordinary customers while
 //! premium customers keep full QoS.
 //!
+//! Paper anchors: the stringent-budget behavior of Figures 7/8 — hours
+//! that serve zero ordinary requests and hours that *violate* their
+//! allotment because premium QoS is mandatory (the "premium override"
+//! outcome) cluster exactly around the crowd.
+//!
 //! Run with: `cargo run --release --example flash_crowd`
 
 use billcap::core::evaluate_allocation;

@@ -6,6 +6,11 @@
 //! only when the new fleet saturates — and the resulting power curve is
 //! piecewise linear rather than the homogeneous model's single slope.
 //!
+//! Paper anchors: Section IX names heterogeneous servers as the first
+//! extension of the homogeneous power model of Section IV; this
+//! example quantifies what that model hides (the efficiency spread
+//! between generations and the convex kinks it puts in power-vs-load).
+//!
 //! Run with: `cargo run --release --example hetero_fleet`
 
 use billcap::core::hetero::{HeteroDataCenter, ServerClass};

@@ -9,6 +9,11 @@
 //! price stepping up as the data center's draw crosses LMP breakpoints —
 //! exactly the effect the Min-Only baselines ignore.
 //!
+//! Paper anchors: Figure 1 (the step-shaped locational pricing policies)
+//! and the central claim that a cloud-scale consumer is a price *maker*,
+//! not a price taker — the premise behind every Figure 3/4 comparison
+//! against price-blind minimization.
+//!
 //! Run with: `cargo run --release --example price_maker`
 
 use billcap::core::DataCenterSystem;

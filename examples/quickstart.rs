@@ -4,6 +4,12 @@
 //! traffic, and shows the two-step decision: where the requests go, what
 //! each region's electricity price becomes, and what the hour costs.
 //!
+//! Paper anchors: the two-step optimization of Section III (minimize
+//! cost subject to full QoS, then throttle ordinary traffic only if the
+//! hourly allotment is exceeded) and the Figures 5–8 claim that premium
+//! customers keep full QoS under any budget — the stringent-budget run
+//! below ends in a premium override rather than premium loss.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use billcap::core::{BillCapper, DataCenterSystem, HourOutcome};

@@ -20,6 +20,7 @@
 //! | [`core`] | cost minimizer, throughput maximizer, bill capper, baselines |
 //! | [`sim`] | monthly simulation harness and per-figure experiments |
 //! | [`rt`] | deterministic RNG, worker pool, and bench harness (no external deps) |
+//! | [`obs`] | tracing spans, counters and histograms (`BILLCAP_TRACE` / `--trace`) |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@
 pub use billcap_core as core;
 pub use billcap_market as market;
 pub use billcap_milp as milp;
+pub use billcap_obs as obs;
 pub use billcap_power as power;
 pub use billcap_queueing as queueing;
 pub use billcap_rt as rt;

@@ -1,0 +1,102 @@
+//! End-to-end trace consistency: a traced week-long simulation must emit
+//! a snapshot whose spans, counters and histograms agree with the
+//! `MonthlyReport` the run returns — the trace is an *account* of the
+//! run, not an independent estimate.
+//!
+//! Everything lives in one `#[test]` because the global recorder and the
+//! enable flag are process-wide state.
+
+use billcap::obs;
+use billcap::sim::{run_month, Scenario, Strategy};
+
+fn hour_field(fields: &[(String, f64)], name: &str) -> Option<f64> {
+    fields.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+#[test]
+fn traced_week_is_consistent_with_report() {
+    // One-week scenario with a tight budget so all three outcome
+    // branches (within / throttled / override) can appear.
+    let mut scenario = Scenario::paper_default(1, 42);
+    scenario.workload = scenario.workload.slice(0, 168);
+    scenario.background = scenario
+        .background
+        .iter()
+        .map(|b| b.slice(0, 168))
+        .collect();
+
+    obs::set_enabled(true);
+    obs::reset();
+    let report = run_month(&scenario, Strategy::CostCapping, Some(80_000.0)).unwrap();
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+
+    // Span accounting: one "hour" span per simulated hour, each nesting
+    // the capper's step spans and the MILP solve spans; nothing orphaned.
+    assert_eq!(snap.orphans, 0, "unbalanced spans");
+    assert_eq!(snap.spans["hour"].count, 168);
+    assert_eq!(snap.counters["sim.hours"], 168);
+    assert_eq!(snap.spans["hour/step1"].count, 168);
+    assert!(snap.spans.contains_key("hour/step1/mip"));
+
+    // Outcome counters partition the hours.
+    let outcome_total: u64 = [
+        "core.capper.within_budget",
+        "core.capper.throttled",
+        "core.capper.premium_override",
+    ]
+    .iter()
+    .map(|k| snap.counters.get(*k).copied().unwrap_or(0))
+    .sum();
+    assert_eq!(outcome_total, 168);
+
+    // The B&B node counter must equal the per-hour traces the report
+    // carries (both are fed by the same MipStats).
+    assert_eq!(report.traced_hours(), 168);
+    assert_eq!(
+        snap.counters["milp.bnb.nodes"] as usize,
+        report.total_bnb_nodes()
+    );
+    assert_eq!(
+        snap.counters["milp.lp.iterations"] as usize,
+        report.total_lp_iterations()
+    );
+
+    // Per-hour span fields sum to the report's aggregates.
+    let hour_events: Vec<_> = snap.events.iter().filter(|e| e.path == "hour").collect();
+    assert_eq!(hour_events.len(), 168);
+    let traced_cost: f64 = hour_events
+        .iter()
+        .map(|e| hour_field(&e.fields, "cost").expect("cost field"))
+        .sum();
+    assert!(
+        (traced_cost - report.total_cost()).abs() < 1e-6 * report.total_cost(),
+        "traced cost {traced_cost} vs report {}",
+        report.total_cost()
+    );
+    let traced_premium: f64 = hour_events
+        .iter()
+        .map(|e| hour_field(&e.fields, "premium_served").expect("premium field"))
+        .sum();
+    let report_premium: f64 = report.hours.iter().map(|h| h.premium_served).sum();
+    assert!((traced_premium - report_premium).abs() < 1e-6 * report_premium);
+
+    // Each hour event names the price level chosen at every site, and it
+    // matches the histogram's total observation count (one per site-hour).
+    let sites = scenario.system.len();
+    for e in &hour_events {
+        for i in 0..sites {
+            assert!(
+                hour_field(&e.fields, &format!("level_s{i}")).is_some(),
+                "missing level_s{i} on hour event"
+            );
+        }
+    }
+    let hist = &snap.histograms["core.capper.price_level"];
+    assert_eq!(hist.count as usize, 168 * sites);
+
+    // The JSONL exporter round-trips the whole snapshot losslessly.
+    let jsonl = obs::export::to_jsonl(&snap);
+    let back = obs::export::parse_jsonl(&jsonl).expect("parseable JSONL");
+    assert_eq!(back, snap);
+}
