@@ -1,0 +1,153 @@
+//! Regenerates the committed performance trajectory (`BENCH_solver.json`).
+//!
+//! Runs the headline solver benchmarks on the in-repo harness, then a
+//! traced one-week capping run whose deterministic work aggregates
+//! (branch-and-bound nodes, LP iterations, per-phase wall totals) are
+//! recorded next to the bench medians. The output feeds the `perf-gate`
+//! binary: commit a fresh baseline with
+//!
+//! ```text
+//! cargo run --release -p billcap-bench --bin bench_trajectory -- \
+//!     --out BENCH_solver.json
+//! ```
+//!
+//! and compare a later run against it with `perf-gate`. Set
+//! `BILLCAP_BENCH_FAST=1` for a quick smoke run (CI does; the committed
+//! baseline should come from a full run).
+
+use billcap_core::{BillCapper, CostMinimizer, DataCenterSystem};
+use billcap_milp::MipSolver;
+use billcap_obs_analyze::trajectory::{BenchPoint, BenchTrajectory, TraceAggregates};
+use billcap_rt::{BenchConfig, Harness};
+use billcap_sim::experiments::synthetic_system;
+use billcap_sim::{run_month_with, Scenario, Strategy};
+use std::hint::black_box;
+use std::process::ExitCode;
+
+/// Hours in the traced reference run (one week keeps a full-accuracy
+/// run under a minute while exercising every solver path).
+const REFERENCE_HOURS: usize = 168;
+
+fn bench_solvers(h: &mut Harness) {
+    // Step-1 MILP by network size (the paper's Section IV-C axis).
+    for n in [3usize, 5, 8, 13] {
+        let system = synthetic_system(n);
+        let d: Vec<f64> = (0..n).map(|i| 330.0 + 40.0 * (i % 3) as f64).collect();
+        let minimizer = CostMinimizer::default();
+        h.bench(&format!("step1_milp_by_sites/{n}"), || {
+            let alloc = minimizer
+                .solve(black_box(&system), black_box(1e8), black_box(&d))
+                .expect("feasible");
+            black_box(alloc.total_cost)
+        });
+    }
+
+    // The full two-step decision on the paper's 3-site system.
+    let system = DataCenterSystem::paper_system(1);
+    let capper = BillCapper::default();
+    h.bench("decide_hour/paper", || {
+        let decision = capper
+            .decide_hour(
+                black_box(&system),
+                black_box(6.0e8),
+                black_box(4.8e8),
+                black_box(&[360.0, 410.0, 430.0]),
+                black_box(2_000.0),
+            )
+            .expect("feasible hour");
+        black_box(decision.premium_served)
+    });
+
+    // A hard 10-site x 10-level branch-and-bound instance.
+    let sys = DataCenterSystem::synthetic(10, 10);
+    let background: Vec<f64> = (0..sys.len()).map(|i| 5.0 + 3.0 * i as f64).collect();
+    let lambda = 0.45 * sys.total_capacity();
+    let minimizer = CostMinimizer {
+        solver: MipSolver::default(),
+        ..Default::default()
+    };
+    h.bench("bnb_10x10/default_threads", || {
+        let alloc = minimizer
+            .solve(black_box(&sys), black_box(lambda), black_box(&background))
+            .expect("feasible");
+        black_box(alloc.total_cost)
+    });
+}
+
+/// Runs the traced one-week capping reference and returns its work
+/// aggregates.
+fn traced_reference_run() -> Result<TraceAggregates, String> {
+    billcap_obs::set_enabled(true);
+    billcap_obs::reset();
+    let mut scenario = Scenario::paper_default(1, 42);
+    scenario.workload = scenario.workload.slice(0, REFERENCE_HOURS);
+    scenario.background = scenario
+        .background
+        .iter()
+        .map(|b| b.slice(0, REFERENCE_HOURS))
+        .collect();
+    // The stringent monthly budget, prorated to the sliced horizon, so
+    // the reference run exercises throttled hours (step 2) as well as
+    // within-budget ones.
+    let budget = Scenario::STRINGENT_BUDGET * REFERENCE_HOURS as f64 / 720.0;
+    run_month_with(&scenario, Strategy::CostCapping, Some(budget), false)
+        .map_err(|e| format!("reference run failed: {e}"))?;
+    let snap = billcap_obs::snapshot();
+    billcap_obs::set_enabled(false);
+    Ok(TraceAggregates::from_snapshot(&snap))
+}
+
+fn run() -> Result<(), String> {
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(args.next().ok_or("--out needs a file path")?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}; usage: bench_trajectory [--out FILE]"
+                ))
+            }
+        }
+    }
+
+    let mut h = Harness::with_config(BenchConfig::default());
+    bench_solvers(&mut h);
+    let benches: Vec<BenchPoint> = h
+        .results()
+        .iter()
+        .map(|r| BenchPoint {
+            name: r.name.clone(),
+            median_ns: r.median_ns,
+            min_ns: r.min_ns,
+            mean_ns: r.mean_ns,
+            samples: r.samples as u64,
+            iters_per_sample: r.iters_per_sample,
+        })
+        .collect();
+
+    eprintln!("running traced {REFERENCE_HOURS}-hour reference ...");
+    let aggregates = traced_reference_run()?;
+    let trajectory = BenchTrajectory::new(benches, aggregates);
+    let json = trajectory.render_json();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("trajectory written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //!         [--policy 1] [--csv month.csv]
 //! billcap derive-policies [--max-load 900] [--step 10]
 //! billcap export-trace --kind workload [--hours 720] [--seed 42]
+//! billcap analyze-trace month.jsonl [--flame out.folded] [--top 5]
+//! billcap diff-trace base.jsonl current.jsonl [--threshold 10]
 //! billcap solve-lp model.lp
 //! billcap help
 //! ```
@@ -35,7 +37,7 @@ USAGE:
 
   billcap simulate-month --strategy capping|min-only-avg|min-only-low
           [--budget DOLLARS] [--policy 0..3] [--seed N] [--csv FILE]
-          [--quiet] [--audit] [--trace FILE]
+          [--hours N] [--quiet] [--audit] [--trace FILE]
       Simulate the evaluation month and print the summary
       (optionally dumping the hourly series as CSV). With --audit, every
       capping hour is re-verified and the audit tally is reported.
@@ -46,7 +48,23 @@ USAGE:
       merged trace (per-hour spans, B&B node counters, price-level
       histograms) is written to FILE as JSONL. Setting BILLCAP_TRACE to
       a path does the same without the flag; BILLCAP_TRACE=1 enables
-      collection only.
+      collection only. With --hours N, only the first N hours of the
+      month are simulated (--budget then covers just those hours).
+
+  billcap analyze-trace FILE [--flame OUT] [--top N]
+      Reconstruct the span tree from a JSONL trace and print a profile:
+      per-node call counts, inclusive/self time, the hot path, and the
+      top N self-time nodes (default 5). With --flame OUT, also write
+      collapsed stacks (`a;b;c N`) for flamegraph.pl / inferno.
+
+  billcap diff-trace BASE CURRENT [--threshold PCT]
+          [--count-threshold PCT] [--warn-only]
+      Compare two JSONL traces: span times and histogram means gate on
+      --threshold (default 10%), deterministic work counters (B&B
+      nodes, LP iterations) on --count-threshold (default 0% = exact).
+      Exits non-zero on regressions; --warn-only downgrades timing
+      regressions (work-counter regressions still fail — they are
+      deterministic, never noise).
 
   billcap derive-policies [--max-load MW] [--step MW]
       Derive the locational step pricing policies from the PJM
@@ -83,6 +101,8 @@ fn run(tokens: Vec<String>) -> Result<(), String> {
         Some("simulate-month") => simulate_month(&args).map_err(stringify),
         Some("derive-policies") => derive_policies(&args).map_err(stringify),
         Some("export-trace") => export_trace(&args).map_err(stringify),
+        Some("analyze-trace") => analyze_trace(&args).map_err(stringify),
+        Some("diff-trace") => diff_trace(&args).map_err(stringify),
         Some("solve-lp") => solve_lp(&args),
         Some("help") | None => {
             println!("{HELP}");
@@ -212,7 +232,24 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
     };
     let audit = args.has("audit") || audit_env_enabled();
     let trace_path = begin_trace(args);
-    let scenario = Scenario::paper_default(policy_arg(args)?, seed);
+    let mut scenario = Scenario::paper_default(policy_arg(args)?, seed);
+    if let Some(raw) = args.get("hours") {
+        let hours: usize = raw
+            .parse()
+            .map_err(|_| ArgError(format!("--hours: cannot parse {raw:?}")))?;
+        if hours == 0 || hours > scenario.horizon() {
+            return Err(ArgError(format!(
+                "--hours must be in 1..={}",
+                scenario.horizon()
+            )));
+        }
+        scenario.workload = scenario.workload.slice(0, hours);
+        scenario.background = scenario
+            .background
+            .iter()
+            .map(|b| b.slice(0, hours))
+            .collect();
+    }
     let report =
         run_month_with(&scenario, strategy, budget, audit).map_err(|e| ArgError(e.to_string()))?;
     if let Some(path) = &trace_path {
@@ -321,6 +358,105 @@ fn export_trace(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Reads and parses a JSONL trace, with one-line actionable errors for
+/// missing files and malformed lines.
+fn read_trace_snapshot(path: &str) -> Result<billcap_obs::TraceSnapshot, ArgError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("reading trace {path:?}: {e}")))?;
+    billcap_obs::export::parse_jsonl(&text)
+        .map_err(|e| ArgError(format!("parsing trace {path:?}: {e}")))
+}
+
+fn analyze_trace(args: &Args) -> Result<(), ArgError> {
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("analyze-trace needs a trace file (JSONL)".into()))?;
+    let top: usize = args.get_or("top", 5)?;
+    let snap = read_trace_snapshot(path)?;
+    let profile = billcap_obs_analyze::Profile::from_snapshot(&snap);
+    if profile.root().children.is_empty() {
+        return Err(ArgError(format!(
+            "trace {path:?} contains no spans; was it recorded with tracing enabled?"
+        )));
+    }
+    print!("{}", profile.to_table());
+    let hot: Vec<&str> = profile.hot_path().iter().map(|n| n.name.as_str()).collect();
+    println!("\nhot path: {}", hot.join(" > "));
+    println!("top {top} by self time:");
+    for node in profile.top_self(top) {
+        println!(
+            "  {:<28} {:>10}  ({} calls)",
+            node.path,
+            billcap_obs_analyze::fmt_ns(node.self_ns),
+            node.count
+        );
+    }
+    if !profile.counters.is_empty() {
+        println!("counters:");
+        for (name, value) in &profile.counters {
+            println!("  {name:<28} {value:>12}");
+        }
+    }
+    if let Some(out) = args.get("flame") {
+        std::fs::write(out, billcap_obs_analyze::to_collapsed(&profile))
+            .map_err(|e| ArgError(format!("writing flamegraph stacks {out:?}: {e}")))?;
+        println!("collapsed stacks written to {out}");
+    }
+    Ok(())
+}
+
+fn diff_trace(args: &Args) -> Result<(), ArgError> {
+    let base_path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("diff-trace needs BASE and CURRENT trace files".into()))?;
+    let cur_path = args
+        .positional()
+        .get(2)
+        .ok_or_else(|| ArgError("diff-trace needs BASE and CURRENT trace files".into()))?;
+    let time_pct: f64 = args.get_or("threshold", 10.0)?;
+    let count_pct: f64 = args.get_or("count-threshold", 0.0)?;
+    if time_pct < 0.0 || count_pct < 0.0 {
+        return Err(ArgError(
+            "thresholds must be non-negative percentages".into(),
+        ));
+    }
+    let base = read_trace_snapshot(base_path)?;
+    let cur = read_trace_snapshot(cur_path)?;
+    let cfg = billcap_obs_analyze::DiffConfig {
+        time_rel: time_pct / 100.0,
+        count_rel: count_pct / 100.0,
+        ..Default::default()
+    };
+    let report = billcap_obs_analyze::diff_snapshots(&base, &cur, &cfg);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        // --warn-only forgives wall-clock jitter only; work counters
+        // are deterministic for a fixed seed, so those always fail.
+        let work = report
+            .regressed()
+            .iter()
+            .filter(|e| !e.kind.is_wall_clock())
+            .count();
+        if !args.has("warn-only") {
+            return Err(ArgError(format!(
+                "{} metrics regressed past the threshold (see above; pass --warn-only to \
+                 downgrade timing regressions)",
+                report.regressed().len()
+            )));
+        }
+        if work > 0 {
+            return Err(ArgError(format!(
+                "{work} deterministic work metric(s) regressed (--warn-only covers timing \
+                 metrics only; see above)"
+            )));
+        }
+        eprintln!("warning: timing regressions past the threshold (warn-only mode)");
+    }
+    Ok(())
+}
+
 fn solve_lp(args: &Args) -> Result<(), String> {
     let path = args
         .positional()
@@ -413,6 +549,122 @@ mod tests {
     #[test]
     fn simulate_month_validation() {
         assert!(run_str("simulate-month --strategy bogus").is_err());
+    }
+
+    #[test]
+    fn analyze_and_diff_trace_round_trip() {
+        let dir = std::env::temp_dir().join("billcap_cli_analyze_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("hour.jsonl");
+        let flame = dir.join("hour.folded");
+        assert!(run_str(&format!(
+            "decide-hour --offered 6e8 --premium-frac 0.8 --budget 1e9 --trace {}",
+            trace.display()
+        ))
+        .is_ok());
+
+        assert!(run_str(&format!(
+            "analyze-trace {} --top 3 --flame {}",
+            trace.display(),
+            flame.display()
+        ))
+        .is_ok());
+        // The collapsed stacks re-parse into a profile with spans.
+        let folded = std::fs::read_to_string(&flame).unwrap();
+        let profile = billcap_obs_analyze::parse_collapsed(&folded).unwrap();
+        assert!(!profile.root().children.is_empty());
+
+        // A trace diffed against itself has no regressions.
+        assert!(run_str(&format!(
+            "diff-trace {} {}",
+            trace.display(),
+            trace.display()
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn analyze_trace_file_errors_are_actionable() {
+        let err = run_str("analyze-trace /nonexistent/trace.jsonl").unwrap_err();
+        assert!(err.contains("/nonexistent/trace.jsonl"), "{err}");
+        assert!(run_str("analyze-trace").is_err()); // missing positional
+
+        // A corrupt trace reports the offending line.
+        let dir = std::env::temp_dir().join("billcap_cli_analyze_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"type\":\"counter\",\"name\":}\n").unwrap();
+        let err = run_str(&format!("analyze-trace {}", bad.display())).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+
+        // An empty (span-less) trace is rejected with a hint.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let err = run_str(&format!("analyze-trace {}", empty.display())).unwrap_err();
+        assert!(err.contains("no spans"), "{err}");
+    }
+
+    #[test]
+    fn diff_trace_validation() {
+        assert!(run_str("diff-trace").is_err()); // needs two files
+        assert!(run_str("diff-trace one.jsonl").is_err());
+        let err = run_str("diff-trace /missing/a.jsonl /missing/b.jsonl").unwrap_err();
+        assert!(err.contains("/missing/a.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn diff_trace_warn_only_still_fails_on_work_regressions() {
+        let dir = std::env::temp_dir().join("billcap_cli_warnonly_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.jsonl");
+        run_str(&format!(
+            "decide-hour --offered 6e8 --premium-frac 0.8 --budget 1e9 --trace {}",
+            base.display()
+        ))
+        .unwrap();
+        let snap =
+            billcap_obs::export::parse_jsonl(&std::fs::read_to_string(&base).unwrap()).unwrap();
+
+        // Inflated wall time alone is forgiven under --warn-only (and
+        // still fails without it).
+        let mut slow = snap.clone();
+        for s in slow.spans.values_mut() {
+            s.total_ns += 50_000_000; // past the 1 ms abs floor and 10% rel
+        }
+        let slow_path = dir.join("slow.jsonl");
+        std::fs::write(&slow_path, billcap_obs::export::to_jsonl(&slow)).unwrap();
+        assert!(run_str(&format!(
+            "diff-trace {} {} --warn-only",
+            base.display(),
+            slow_path.display()
+        ))
+        .is_ok());
+        assert!(run_str(&format!(
+            "diff-trace {} {}",
+            base.display(),
+            slow_path.display()
+        ))
+        .is_err());
+
+        // An inflated deterministic work counter is never forgiven.
+        let mut inflated = snap.clone();
+        *inflated.counters.get_mut("milp.bnb.nodes").unwrap() *= 2;
+        let bad = dir.join("inflated.jsonl");
+        std::fs::write(&bad, billcap_obs::export::to_jsonl(&inflated)).unwrap();
+        let err = run_str(&format!(
+            "diff-trace {} {} --warn-only",
+            base.display(),
+            bad.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("work metric"), "{err}");
+    }
+
+    #[test]
+    fn simulate_month_hours_validation() {
+        assert!(run_str("simulate-month --hours 0 --quiet").is_err());
+        assert!(run_str("simulate-month --hours 999999 --quiet").is_err());
+        assert!(run_str("simulate-month --hours nope --quiet").is_err());
     }
 
     #[test]

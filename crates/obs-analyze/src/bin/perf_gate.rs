@@ -1,0 +1,111 @@
+//! `perf-gate` — compare a current `BENCH_*.json` performance
+//! trajectory against the committed baseline and fail on regressions.
+//!
+//! ```text
+//! perf-gate BASE.json CURRENT.json [--threshold PCT] [--count-threshold PCT] [--warn-only]
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = regression past threshold,
+//! 2 = usage or I/O error. Timing regressions gate on `--threshold`
+//! (default 25 %); deterministic work counters (B&B nodes, LP
+//! iterations) gate on `--count-threshold` (default 2 %).
+//! `--warn-only` downgrades *timing* regressions to warnings — wall
+//! clocks are apples-to-oranges across machine classes — but work
+//! counters are deterministic, so a regression in one still fails.
+
+use billcap_obs_analyze::trajectory::{gate, BenchTrajectory, GateConfig};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: perf-gate BASE.json CURRENT.json [--threshold PCT] [--count-threshold PCT] [--warn-only]";
+
+fn load(path: &str) -> Result<BenchTrajectory, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    BenchTrajectory::parse_json(&text).map_err(|e| format!("parsing {path:?}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut cfg = GateConfig::default();
+    let mut warn_only = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or("--threshold needs a percent value")?
+                    .parse()
+                    .map_err(|_| "--threshold: not a number".to_string())?;
+                cfg.time_rel = v / 100.0;
+            }
+            "--count-threshold" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or("--count-threshold needs a percent value")?
+                    .parse()
+                    .map_err(|_| "--count-threshold: not a number".to_string())?;
+                cfg.count_rel = v / 100.0;
+            }
+            "--warn-only" => warn_only = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"))
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [base_path, cur_path] = paths.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let cur = load(cur_path)?;
+    if base.machine != cur.machine {
+        eprintln!(
+            "perf-gate: note: machines differ (base {}x {}/{}, current {}x {}/{}) — timings are apples-to-oranges",
+            base.machine.threads, base.machine.os, base.machine.arch,
+            cur.machine.threads, cur.machine.os, cur.machine.arch,
+        );
+    }
+    let report = gate(&base, &cur, &cfg);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        // --warn-only forgives wall-clock regressions only: timings are
+        // machine-dependent, but the work counters are deterministic,
+        // so a regressed counter is a real algorithmic change.
+        let work = report
+            .regressed()
+            .iter()
+            .filter(|e| !e.kind.is_wall_clock())
+            .count();
+        if warn_only && work == 0 {
+            eprintln!(
+                "perf-gate: WARNING: {} timing regression(s) past threshold (warn-only mode)",
+                report.regressed().len()
+            );
+            return Ok(true);
+        }
+        if warn_only {
+            eprintln!(
+                "perf-gate: FAIL: {work} deterministic work metric(s) regressed \
+                 (--warn-only covers timing metrics only)"
+            );
+        }
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("perf-gate: FAIL: performance regressed past threshold");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Collapsed-stack ("folded") export and import.
+//!
+//! The format is the one `flamegraph.pl` / `inferno` consume: one line
+//! per stack, frames joined by `;`, then a space and a count. The
+//! profiler emits **self time in nanoseconds** as the count, one line
+//! per node, so the total of a frame's own line plus its descendants'
+//! lines reconstructs the frame's inclusive time exactly — the
+//! round-trip invariant [`parse_collapsed`] is tested against.
+
+use crate::profile::Profile;
+
+/// Renders a profile as collapsed stacks (`hour;step1;mip 12345`).
+///
+/// Every non-root node gets one line (zero-self nodes included, so the
+/// tree shape survives the round trip); lines are in path order.
+pub fn to_collapsed(profile: &Profile) -> String {
+    let mut lines: Vec<(String, u64)> = profile
+        .nodes
+        .iter()
+        .skip(1)
+        .map(|n| (n.path.replace('/', ";"), n.self_ns))
+        .collect();
+    lines.sort();
+    let mut out = String::new();
+    for (stack, ns) in lines {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// A malformed collapsed-stack line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollapsedError {
+    /// 1-based line number of the malformed line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CollapsedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "collapsed stack line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CollapsedError {}
+
+/// Parses collapsed stacks back into a [`Profile`].
+///
+/// The counts are interpreted as self time; inclusive times are derived
+/// bottom-up, so `parse_collapsed(&to_collapsed(p))` preserves every
+/// node's inclusive and self totals (call counts and min/max are not
+/// representable in this format and come back as zero).
+pub fn parse_collapsed(text: &str) -> Result<Profile, CollapsedError> {
+    let mut pairs: Vec<(String, u64)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, count) = line.rsplit_once(' ').ok_or_else(|| CollapsedError {
+            line: i + 1,
+            message: "expected `frame;frame;... COUNT`".into(),
+        })?;
+        let stack = stack.trim_end();
+        if stack.is_empty() || stack.split(';').any(str::is_empty) {
+            return Err(CollapsedError {
+                line: i + 1,
+                message: "empty frame in stack".into(),
+            });
+        }
+        let ns: u64 = count.parse().map_err(|_| CollapsedError {
+            line: i + 1,
+            message: format!("bad count {count:?}"),
+        })?;
+        pairs.push((stack.replace(';', "/"), ns));
+    }
+    Ok(Profile::from_path_values(
+        pairs.iter().map(|(p, n)| (p.as_str(), *n)),
+        false,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use billcap_obs::{SpanStats, TraceSnapshot};
+
+    fn sample_profile() -> Profile {
+        let mut snap = TraceSnapshot::default();
+        let stats = |count: u64, total: u64| SpanStats {
+            count,
+            total_ns: total,
+            min_ns: total / count.max(1),
+            max_ns: total / count.max(1),
+        };
+        snap.spans.insert("hour".into(), stats(2, 100));
+        snap.spans.insert("hour/step1".into(), stats(2, 60));
+        snap.spans.insert("hour/step1/mip".into(), stats(3, 25));
+        snap.spans.insert("hour/step2".into(), stats(2, 30));
+        Profile::from_snapshot(&snap)
+    }
+
+    #[test]
+    fn collapsed_round_trip_preserves_totals() {
+        let p = sample_profile();
+        let folded = to_collapsed(&p);
+        assert!(folded.contains("hour;step1;mip 25\n"));
+        assert!(folded.contains("hour;step1 35\n"));
+        let back = parse_collapsed(&folded).unwrap();
+        assert_eq!(back.root().inclusive_ns, p.root().inclusive_ns);
+        for n in &p.nodes[1..] {
+            let b = back.node(&n.path).expect("node survives round trip");
+            assert_eq!(b.inclusive_ns, n.inclusive_ns, "inclusive at {}", n.path);
+            assert_eq!(b.self_ns, n.self_ns, "self at {}", n.path);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let err = parse_collapsed("hour;step1 10\nnocount\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_collapsed("hour;;bad 10\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_collapsed("hour x\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn parse_derives_inclusive_for_missing_parents() {
+        // Only leaves listed: the parent's inclusive is the leaf sum.
+        let p = parse_collapsed("a;b 10\na;c 5\n").unwrap();
+        assert_eq!(p.node("a").unwrap().inclusive_ns, 15);
+        assert_eq!(p.node("a").unwrap().self_ns, 0);
+        assert_eq!(p.root().inclusive_ns, 15);
+    }
+}

@@ -1,0 +1,90 @@
+//! # billcap-obs-analyze
+//!
+//! Consumers for `billcap-obs` traces: where the obs crate *emits*
+//! spans, counters and histograms, this crate turns them into
+//! actionable signals — a hierarchical profile, flamegraph input,
+//! run-to-run diffs, and a committed performance trajectory with a
+//! regression gate. Zero external dependencies, like the rest of the
+//! workspace.
+//!
+//! * [`profile::Profile`] — span-tree reconstruction from a
+//!   [`TraceSnapshot`](billcap_obs::TraceSnapshot) (e.g. the output of
+//!   [`billcap_obs::export::parse_jsonl`]): inclusive/self time, call
+//!   counts, hot-path extraction, table rendering.
+//! * [`flame`] — collapsed-stack (`a;b;c N`) export compatible with
+//!   `flamegraph.pl`/`inferno`, plus a parser whose round trip
+//!   preserves every node's totals.
+//! * [`diff`] — compares two runs with configurable relative/absolute
+//!   thresholds into a structured [`diff::DiffReport`]
+//!   (regressed / improved / new / missing).
+//! * [`trajectory`] — the `BENCH_solver.json` schema
+//!   ([`trajectory::BenchTrajectory`]): bench medians plus trace work
+//!   aggregates, and [`trajectory::gate`] for the perf-regression gate
+//!   (see the `perf-gate` binary).
+//!
+//! ## Example
+//!
+//! ```
+//! use billcap_obs::Recorder;
+//! use billcap_obs_analyze::{diff, flame, profile::Profile};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _hour = rec.span("hour");
+//!     let _mip = rec.span("mip");
+//!     rec.counter("milp.bnb.nodes", 42);
+//! }
+//! let snap = rec.snapshot();
+//!
+//! // Profile: the synthetic root covers all top-level spans.
+//! let profile = Profile::from_snapshot(&snap);
+//! assert_eq!(profile.root().inclusive_ns, snap.spans["hour"].total_ns);
+//! assert_eq!(profile.counters["milp.bnb.nodes"], 42);
+//!
+//! // Flamegraph stacks round-trip the totals.
+//! let folded = flame::to_collapsed(&profile);
+//! let back = flame::parse_collapsed(&folded).unwrap();
+//! assert_eq!(back.root().inclusive_ns, profile.root().inclusive_ns);
+//!
+//! // A run diffed against itself has no regressions.
+//! let report = diff::diff_snapshots(&snap, &snap, &diff::DiffConfig::default());
+//! assert!(!report.has_regressions());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod flame;
+pub mod profile;
+pub mod trajectory;
+
+pub use diff::{diff_snapshots, DiffClass, DiffConfig, DiffEntry, DiffReport, MetricKind};
+pub use flame::{parse_collapsed, to_collapsed};
+pub use profile::{Profile, ProfileNode};
+pub use trajectory::{gate, BenchPoint, BenchTrajectory, GateConfig, Machine, TraceAggregates};
+
+/// Human formatting for nanosecond quantities (`1.5us`, `2.50ms`, …).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_ns;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -130,6 +130,7 @@ pub fn to_jsonl(snap: &TraceSnapshot) -> String {
 
 fn need_u64(v: &Value, key: &str) -> Result<u64, JsonError> {
     v.get(key).and_then(Value::as_u64).ok_or_else(|| JsonError {
+        line: 0,
         offset: 0,
         message: format!("missing or non-integer field {key:?}"),
     })
@@ -137,6 +138,7 @@ fn need_u64(v: &Value, key: &str) -> Result<u64, JsonError> {
 
 fn need_f64(v: &Value, key: &str) -> Result<f64, JsonError> {
     v.get(key).and_then(Value::as_f64).ok_or_else(|| JsonError {
+        line: 0,
         offset: 0,
         message: format!("missing or non-numeric field {key:?}"),
     })
@@ -147,6 +149,7 @@ fn need_str(v: &Value, key: &str) -> Result<String, JsonError> {
         .and_then(Value::as_str)
         .map(str::to_string)
         .ok_or_else(|| JsonError {
+            line: 0,
             offset: 0,
             message: format!("missing or non-string field {key:?}"),
         })
@@ -159,10 +162,29 @@ fn need_str(v: &Value, key: &str) -> Result<String, JsonError> {
 /// an error so format drift is caught by the round-trip test.
 pub fn parse_jsonl(text: &str) -> Result<TraceSnapshot, JsonError> {
     let mut snap = TraceSnapshot::default();
-    for line in text.lines() {
-        let line = line.trim();
+    let mut line_start = 0usize;
+    for (line_idx, raw_line) in text.split('\n').enumerate() {
+        let result = parse_jsonl_line(&mut snap, raw_line);
+        if let Err(e) = result {
+            // Attribute the failure to this 1-based line and rebase the
+            // byte offset from line-relative to absolute, so a bad line
+            // in a multi-megabyte trace file is findable directly.
+            let lead_ws = raw_line.len() - raw_line.trim_start().len();
+            return Err(e.on_line(line_idx + 1, line_start + lead_ws));
+        }
+        line_start += raw_line.len() + 1; // +1 for the consumed '\n'
+    }
+    snap.sort_events();
+    Ok(snap)
+}
+
+/// Parses one JSONL record into the snapshot; errors carry offsets
+/// relative to the trimmed line (rebased by [`parse_jsonl`]).
+fn parse_jsonl_line(snap: &mut TraceSnapshot, raw_line: &str) -> Result<(), JsonError> {
+    {
+        let line = raw_line.trim();
         if line.is_empty() {
-            continue;
+            return Ok(());
         }
         let v = Value::parse(line)?;
         let kind = need_str(&v, "type")?;
@@ -178,6 +200,7 @@ pub fn parse_jsonl(text: &str) -> Result<TraceSnapshot, JsonError> {
                             fv.as_f64()
                                 .map(|x| (k.clone(), x))
                                 .ok_or_else(|| JsonError {
+                                    line: 0,
                                     offset: 0,
                                     message: format!("non-numeric span field {k:?}"),
                                 })
@@ -225,12 +248,14 @@ pub fn parse_jsonl(text: &str) -> Result<TraceSnapshot, JsonError> {
                     .get("bounds")
                     .and_then(Value::as_arr)
                     .ok_or_else(|| JsonError {
+                        line: 0,
                         offset: 0,
                         message: "missing histogram bounds".into(),
                     })?
                     .iter()
                     .map(|b| {
                         b.as_f64().ok_or_else(|| JsonError {
+                            line: 0,
                             offset: 0,
                             message: "non-numeric histogram bound".into(),
                         })
@@ -240,12 +265,14 @@ pub fn parse_jsonl(text: &str) -> Result<TraceSnapshot, JsonError> {
                     .get("counts")
                     .and_then(Value::as_arr)
                     .ok_or_else(|| JsonError {
+                        line: 0,
                         offset: 0,
                         message: "missing histogram counts".into(),
                     })?
                     .iter()
                     .map(|c| {
                         c.as_u64().ok_or_else(|| JsonError {
+                            line: 0,
                             offset: 0,
                             message: "non-integer histogram count".into(),
                         })
@@ -255,6 +282,7 @@ pub fn parse_jsonl(text: &str) -> Result<TraceSnapshot, JsonError> {
                 let min = match v.get("min") {
                     Some(Value::Null) | None => f64::INFINITY,
                     Some(other) => other.as_f64().ok_or_else(|| JsonError {
+                        line: 0,
                         offset: 0,
                         message: "non-numeric histogram min".into(),
                     })?,
@@ -262,6 +290,7 @@ pub fn parse_jsonl(text: &str) -> Result<TraceSnapshot, JsonError> {
                 let max = match v.get("max") {
                     Some(Value::Null) | None => f64::NEG_INFINITY,
                     Some(other) => other.as_f64().ok_or_else(|| JsonError {
+                        line: 0,
                         offset: 0,
                         message: "non-numeric histogram max".into(),
                     })?,
@@ -280,14 +309,14 @@ pub fn parse_jsonl(text: &str) -> Result<TraceSnapshot, JsonError> {
             }
             other => {
                 return Err(JsonError {
+                    line: 0,
                     offset: 0,
                     message: format!("unknown record type {other:?}"),
                 })
             }
         }
     }
-    snap.sort_events();
-    Ok(snap)
+    Ok(())
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -428,6 +457,34 @@ mod tests {
         assert!(parse_jsonl("{\"type\":\"bogus\"}").is_err());
         assert!(parse_jsonl("{\"no_type\":1}").is_err());
         assert!(parse_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_line_and_absolute_offset() {
+        let snap = sample_snapshot();
+        let mut lines: Vec<String> = to_jsonl(&snap).lines().map(String::from).collect();
+        assert!(lines.len() >= 4, "need a middle line to corrupt");
+        let bad_idx = lines.len() / 2;
+        let expected_line = bad_idx + 1; // 1-based
+        let prefix_bytes: usize = lines[..bad_idx].iter().map(|l| l.len() + 1).sum();
+        lines[bad_idx] = "{\"type\":\"counter\",\"name\":}".into();
+        let text = lines.join("\n");
+
+        let err = parse_jsonl(&text).unwrap_err();
+        assert_eq!(err.line, expected_line);
+        assert!(
+            err.offset >= prefix_bytes && err.offset < prefix_bytes + lines[bad_idx].len(),
+            "offset {} outside corrupted line starting at {prefix_bytes}",
+            err.offset
+        );
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("line {expected_line}")), "{msg}");
+
+        // A semantically bad (but well-formed) record is attributed too.
+        let text = "{\"type\":\"meta\",\"orphans\":0}\n{\"type\":\"bogus\"}\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.offset, 28); // start of line 2
     }
 
     #[test]

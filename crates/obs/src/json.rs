@@ -158,7 +158,14 @@ fn render_string(s: &str, out: &mut String) {
 /// A parse failure with the byte offset where it happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
-    /// Byte offset in the input.
+    /// 1-based line number in the original input, or 0 when the error
+    /// is not tied to a line (single-document parses; synthetic
+    /// errors). Line-oriented parsers such as
+    /// [`parse_jsonl`](crate::export::parse_jsonl) fill this in so a
+    /// bad line in a multi-megabyte trace is findable.
+    pub line: usize,
+    /// Byte offset in the input. For line-oriented parsers this is the
+    /// absolute offset into the whole input, not into the line.
     pub offset: usize,
     /// What went wrong.
     pub message: String,
@@ -167,15 +174,35 @@ pub struct JsonError {
 impl JsonError {
     fn at(offset: usize, message: impl Into<String>) -> Self {
         Self {
+            line: 0,
             offset,
             message: message.into(),
+        }
+    }
+
+    /// Rebases this error into a larger input: attributes it to the
+    /// 1-based `line` whose content starts at absolute byte offset
+    /// `line_start`.
+    pub fn on_line(self, line: usize, line_start: usize) -> Self {
+        Self {
+            line,
+            offset: line_start + self.offset,
+            message: self.message,
         }
     }
 }
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json error at byte {}: {}", self.offset, self.message)
+        if self.line > 0 {
+            write!(
+                f,
+                "json error at line {}, byte {}: {}",
+                self.line, self.offset, self.message
+            )
+        } else {
+            write!(f, "json error at byte {}: {}", self.offset, self.message)
+        }
     }
 }
 

@@ -112,6 +112,73 @@ fn nested_pool_spans_stay_per_thread() {
 }
 
 #[test]
+fn bucket_boundary_values_merge_exactly_under_pool() {
+    // Values landing exactly on bucket upper bounds must stay in the
+    // upper-inclusive bucket no matter which worker thread observed
+    // them or in which order per-thread histograms merged.
+    const BOUNDS: &[f64] = &[1.0, 5.0, 10.0];
+    const N: usize = 198; // multiple of 3 so the edges split evenly
+    let edges = [1.0, 5.0, 10.0];
+    let items: Vec<usize> = (0..N).collect();
+
+    let rec = Recorder::new();
+    par_map_threads(&items, 16, |&i| {
+        rec.observe_with("edge", edges[i % edges.len()], BOUNDS);
+        rec.observe_with("edge", 10.5, BOUNDS); // overflow bucket
+    });
+    let snap = rec.snapshot();
+    let h = &snap.histograms["edge"];
+    assert_eq!(h.count, 2 * N as u64);
+    // Every edge value sits in its own (upper-inclusive) bucket, the
+    // 10.5 observations all land in overflow.
+    let per_edge = (N / edges.len()) as u64;
+    assert_eq!(h.counts, vec![per_edge, per_edge, per_edge, N as u64]);
+    assert_eq!(h.min, 1.0);
+    assert_eq!(h.max, 10.5);
+}
+
+#[test]
+fn flush_totals_are_thread_count_invariant() {
+    // Oversubscribe the pool well past typical core counts: merged
+    // counter totals, gauge min/max/sets, and histogram bucket counts
+    // must be identical across 1, 4, and 32 threads.
+    let run = |threads: usize| {
+        let rec = Recorder::new();
+        let items: Vec<usize> = (0..ITEMS).collect();
+        par_map_threads(&items, threads, |&i| {
+            rec.counter("ops", 1);
+            rec.counter("weight", i as u64);
+            rec.gauge("level", i as f64);
+            rec.observe_with("lat", (i % 10) as f64, &[2.0, 5.0]);
+            let _s = rec.span("unit");
+        });
+        rec.snapshot()
+    };
+
+    let one = run(1);
+    let four = run(4);
+    let many = run(32);
+
+    for snap in [&four, &many] {
+        assert_eq!(snap.counters, one.counters);
+        assert_eq!(snap.histograms["lat"].counts, one.histograms["lat"].counts);
+        assert_eq!(snap.histograms["lat"].sum, one.histograms["lat"].sum);
+        assert_eq!(snap.spans["unit"].count, ITEMS as u64);
+        assert_eq!(snap.orphans, 0);
+
+        // Gauge `last` depends on merge order across threads, so only
+        // the order-independent parts are invariant.
+        let (g, g1) = (&snap.gauges["level"], &one.gauges["level"]);
+        assert_eq!(g.min, g1.min);
+        assert_eq!(g.max, g1.max);
+        assert_eq!(g.sets, g1.sets);
+    }
+    assert_eq!(one.counters["ops"], ITEMS as u64);
+    assert_eq!(one.gauges["level"].min, 0.0);
+    assert_eq!(one.gauges["level"].max, (ITEMS - 1) as f64);
+}
+
+#[test]
 fn thread_ordinals_are_distinct_per_event() {
     let rec = Recorder::new();
     run_workers(THREADS, |_w| {

@@ -49,8 +49,19 @@ where
     }
     std::thread::scope(|scope| {
         let body = &body;
-        for w in 0..threads {
-            scope.spawn(move || body(w));
+        // Join each worker explicitly rather than relying on the scope's
+        // implicit wait: the implicit wait is signalled when the worker
+        // closure returns, *before* the OS thread has torn down its
+        // thread-locals, while an explicit join targets the native
+        // thread and therefore also waits for TLS destructors. Callers
+        // (notably billcap-obs) rely on destructors having run — e.g.
+        // per-thread metric buffers that flush on thread exit — by the
+        // time this function returns.
+        let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || body(w))).collect();
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
         }
     });
 }

@@ -21,6 +21,7 @@
 //! | [`sim`] | monthly simulation harness and per-figure experiments |
 //! | [`rt`] | deterministic RNG, worker pool, and bench harness (no external deps) |
 //! | [`obs`] | tracing spans, counters and histograms (`BILLCAP_TRACE` / `--trace`) |
+//! | [`obs_analyze`] | trace consumers: span-tree profiler, flamegraph export, trace diffing, perf-trajectory gate |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use billcap_core as core;
 pub use billcap_market as market;
 pub use billcap_milp as milp;
 pub use billcap_obs as obs;
+pub use billcap_obs_analyze as obs_analyze;
 pub use billcap_power as power;
 pub use billcap_queueing as queueing;
 pub use billcap_rt as rt;
