@@ -15,6 +15,8 @@
 //! `BILLCAP_BENCH_FAST=1` for a quick smoke run (CI does; the committed
 //! baseline should come from a full run).
 
+#![forbid(unsafe_code)]
+
 use billcap_core::{BillCapper, CostMinimizer, DataCenterSystem};
 use billcap_milp::MipSolver;
 use billcap_obs_analyze::trajectory::{BenchPoint, BenchTrajectory, TraceAggregates};

@@ -29,6 +29,8 @@
 //! The figure benches also print their experiment summaries once per
 //! process so a bench run doubles as a results regeneration.
 
+#![forbid(unsafe_code)]
+
 /// Shared helpers for the bench targets.
 pub mod helpers {
     use billcap_core::DataCenterSystem;

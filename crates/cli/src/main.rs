@@ -13,6 +13,8 @@
 //! billcap help
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 
 use args::{ArgError, Args};
@@ -29,7 +31,8 @@ billcap — electricity bill capping for cloud-scale data centers
 
 USAGE:
   billcap decide-hour --offered R --premium-frac F --budget D
-          [--background MW,MW,MW] [--policy 0..3] [--audit] [--trace FILE]
+          [--background MW,MW,MW] [--policy 0..3] [--audit] [--lint]
+          [--trace FILE]
       Decide one hour's workload dispatch for the paper's 3-site system.
       With --audit, re-verify the plan against the paper's invariants
       (power caps, G/G/m response time, step-price level, budget rules)
@@ -37,7 +40,7 @@ USAGE:
 
   billcap simulate-month --strategy capping|min-only-avg|min-only-low
           [--budget DOLLARS] [--policy 0..3] [--seed N] [--csv FILE]
-          [--hours N] [--quiet] [--audit] [--trace FILE]
+          [--hours N] [--quiet] [--audit] [--lint] [--trace FILE]
       Simulate the evaluation month and print the summary
       (optionally dumping the hourly series as CSV). With --audit, every
       capping hour is re-verified and the audit tally is reported.
@@ -78,8 +81,28 @@ USAGE:
   billcap solve-lp FILE
       Solve a CPLEX LP-format model with the built-in MILP solver.
 
+  billcap lint-model FILE [--json]
+      Statically analyze a CPLEX LP-format model without solving it:
+      coefficient conditioning, loose big-M rows, broken exactly-one
+      groups, duplicate/contradictory rows, dangling variables, and
+      bound-propagation infeasibility proofs (codes M001–M010). Exits
+      non-zero on Error-severity findings; --json emits JSONL.
+
+  billcap lint-spec [--policy 0..3 | --synthetic N,L]
+          [--premium-frac F] [--json]
+      Re-derive the paper's spec invariants for a system without
+      solving: step-price monotonicity, price-vector shape, budget
+      weights, premium fraction, QoS reachability, cap-vs-idle power,
+      site/policy pairing (codes S001–S009). Exits non-zero on
+      Error-severity findings; --json emits JSONL.
+
   billcap help
       Show this message.
+
+Setting BILLCAP_LINT=deny (or passing --lint to decide-hour /
+simulate-month) additionally runs the model linter inside the
+optimizers before every solve and refuses models with Error findings;
+BILLCAP_LINT=warn prints them and proceeds.
 ";
 
 fn main() -> ExitCode {
@@ -104,6 +127,8 @@ fn run(tokens: Vec<String>) -> Result<(), String> {
         Some("analyze-trace") => analyze_trace(&args).map_err(stringify),
         Some("diff-trace") => diff_trace(&args).map_err(stringify),
         Some("solve-lp") => solve_lp(&args),
+        Some("lint-model") => lint_model_cmd(&args),
+        Some("lint-spec") => lint_spec_cmd(&args),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -114,6 +139,14 @@ fn run(tokens: Vec<String>) -> Result<(), String> {
 
 fn stringify(e: ArgError) -> String {
     e.0
+}
+
+/// Arms the optimizers' pre-solve lint gate when `--lint` is passed
+/// (equivalent to `BILLCAP_LINT=deny` in the environment).
+fn arm_lint(args: &Args) {
+    if args.has("lint") {
+        std::env::set_var("BILLCAP_LINT", "deny");
+    }
 }
 
 /// Resolves the trace output path (`--trace FILE`, or a path-valued
@@ -157,6 +190,7 @@ fn decide_hour(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("--premium-frac must be in [0, 1]".into()));
     }
     let budget: f64 = args.require("budget")?;
+    arm_lint(args);
     let trace_path = begin_trace(args);
     let background = args
         .get_f64_list("background")?
@@ -231,6 +265,7 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
         None => None,
     };
     let audit = args.has("audit") || audit_env_enabled();
+    arm_lint(args);
     let trace_path = begin_trace(args);
     let mut scenario = Scenario::paper_default(policy_arg(args)?, seed);
     if let Some(raw) = args.get("hours") {
@@ -481,6 +516,58 @@ fn solve_lp(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn lint_model_cmd(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| "lint-model needs a file path".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    let model = parse_lp(&text).map_err(|e| e.to_string())?;
+    let report = billcap_milp::lint_model(&model);
+    if args.has("json") {
+        print!("{}", report.to_jsonl());
+    } else {
+        print!("{report}");
+    }
+    let errors = report.errors().count();
+    if errors == 0 {
+        Ok(())
+    } else {
+        Err(format!("{errors} error-severity finding(s)"))
+    }
+}
+
+fn lint_spec_cmd(args: &Args) -> Result<(), String> {
+    let system = if let Some(spec) = args.get("synthetic") {
+        let (n, l) = spec
+            .split_once(',')
+            .and_then(|(n, l)| Some((n.parse::<usize>().ok()?, l.parse::<usize>().ok()?)))
+            .ok_or_else(|| "--synthetic needs N,L (sites, price levels)".to_string())?;
+        DataCenterSystem::synthetic(n, l)
+    } else {
+        DataCenterSystem::paper_system(policy_arg(args).map_err(stringify)?)
+    };
+    let mut report = billcap_core::lint_system(&system);
+    // The default month-long budgeter's hour-of-week weights (S003).
+    let budgeter = billcap_workload::Budgeter::uniform(1.0, 720);
+    report.extend(billcap_core::lint_budget_weights(budgeter.weights()));
+    let premium_frac: f64 = args.get_or("premium-frac", 0.8).map_err(stringify)?;
+    report.extend(billcap_core::lint_premium_fraction(premium_frac));
+    if args.has("json") {
+        print!("{}", report.to_jsonl());
+    } else if report.findings.is_empty() {
+        println!("spec lint: clean ({} sites)", system.len());
+    } else {
+        print!("{report}");
+    }
+    let errors = report.errors().count();
+    if errors == 0 {
+        Ok(())
+    } else {
+        Err(format!("{errors} error-severity finding(s)"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +631,42 @@ mod tests {
         assert!(run_str(&format!("solve-lp {}", path.display())).is_ok());
         assert!(run_str("solve-lp /nonexistent/file.lp").is_err());
         assert!(run_str("solve-lp").is_err());
+    }
+
+    #[test]
+    fn lint_spec_committed_systems_are_clean() {
+        for p in 0..4 {
+            assert!(run_str(&format!("lint-spec --policy {p}")).is_ok());
+        }
+        assert!(run_str("lint-spec --synthetic 6,4 --json").is_ok());
+        assert!(run_str("lint-spec --synthetic nope").is_err());
+        // An impossible premium fraction is an Error-severity finding.
+        assert!(run_str("lint-spec --premium-frac 1.5").is_err());
+    }
+
+    #[test]
+    fn lint_model_flags_contradictory_rows() {
+        let dir = std::env::temp_dir().join("billcap_cli_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.lp");
+        std::fs::write(
+            &clean,
+            "Minimize\n obj: 2 a + 3 b\nSubject To\n c1: a + b >= 4\nBounds\n a >= 0\n b >= 0\nEnd\n",
+        )
+        .unwrap();
+        assert!(run_str(&format!("lint-model {}", clean.display())).is_ok());
+        assert!(run_str(&format!("lint-model {} --json", clean.display())).is_ok());
+
+        // x >= 4 and x <= 1 cannot both hold: bound propagation proves it.
+        let bad = dir.join("bad.lp");
+        std::fs::write(
+            &bad,
+            "Minimize\n obj: a\nSubject To\n c1: a >= 4\n c2: a <= 1\nBounds\n a >= 0\nEnd\n",
+        )
+        .unwrap();
+        assert!(run_str(&format!("lint-model {}", bad.display())).is_err());
+        assert!(run_str("lint-model /nonexistent/file.lp").is_err());
+        assert!(run_str("lint-model").is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::maximize::ThroughputMaximizer;
 use crate::minimize::{Allocation, CostMinimizer};
 use crate::spec::DataCenterSystem;
 use billcap_milp::SolveError;
-use std::time::Instant;
+use billcap_obs::Stopwatch;
 
 /// Tuning knobs for the capper.
 #[derive(Debug, Clone, Default)]
@@ -167,12 +167,12 @@ impl BillCapper {
         let mut trace = DecisionTrace::default();
 
         // Step 1: cost minimization over the whole offered load.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut span1 = billcap_obs::span("step1");
         let step1 = self.minimizer.solve(system, offered, background_mw)?;
         span1.field("cost", step1.total_cost);
         drop(span1);
-        trace.step1_ns = t0.elapsed().as_nanos() as u64;
+        trace.step1_ns = t0.elapsed_ns();
         trace.absorb(&step1);
         if step1.total_cost <= hourly_budget {
             record_outcome(HourOutcome::WithinBudget, &step1, hourly_budget);
@@ -189,7 +189,7 @@ impl BillCapper {
         }
 
         // Step 2: throughput maximization within the budget.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut span2 = billcap_obs::span("step2");
         let step2 = match self
             .maximizer
@@ -205,7 +205,7 @@ impl BillCapper {
             span2.field("admitted", a.total_lambda);
         }
         drop(span2);
-        trace.step2_ns = t0.elapsed().as_nanos() as u64;
+        trace.step2_ns = t0.elapsed_ns();
         if let Some(step2) = step2 {
             trace.absorb(&step2);
             if step2.total_lambda >= premium_offered - 1e-6 {
@@ -225,14 +225,14 @@ impl BillCapper {
         }
 
         // Premium override: serve premium at minimum cost, budget be damned.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut span3 = billcap_obs::span("step3");
         let step3 = self
             .minimizer
             .solve(system, premium_offered, background_mw)?;
         span3.field("cost", step3.total_cost);
         drop(span3);
-        trace.step3_ns = t0.elapsed().as_nanos() as u64;
+        trace.step3_ns = t0.elapsed_ns();
         trace.absorb(&step3);
         record_outcome(HourOutcome::PremiumOverride, &step3, hourly_budget);
         Ok(HourDecision {

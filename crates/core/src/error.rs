@@ -31,6 +31,9 @@ pub enum CoreError {
     /// A solve or plan failed independent certification (`BILLCAP_AUDIT` /
     /// `--audit`); the message carries the violated invariants.
     Audit(String),
+    /// The pre-solve lint (`BILLCAP_LINT=deny` / `--lint`) found
+    /// Error-severity defects in the model; the message carries them.
+    Lint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +49,7 @@ impl fmt::Display for CoreError {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             CoreError::Audit(msg) => write!(f, "audit failed: {msg}"),
+            CoreError::Lint(msg) => write!(f, "lint rejected model: {msg}"),
         }
     }
 }

@@ -88,8 +88,7 @@ impl HeteroDataCenter {
         idx.sort_by(|&a, &b| {
             self.classes[a]
                 .watt_hours_per_request()
-                .partial_cmp(&self.classes[b].watt_hours_per_request())
-                .unwrap()
+                .total_cmp(&self.classes[b].watt_hours_per_request())
         });
         idx
     }

@@ -50,6 +50,7 @@
 //! assert!(decision.trace.solves >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
@@ -63,6 +64,7 @@ pub mod maximize;
 pub mod minimize;
 pub mod priority;
 pub mod spec;
+pub mod speclint;
 
 pub use audit::{audit_env_enabled, AuditReport, PlanAuditor, PlanViolation};
 pub use baselines::{MinOnly, PriceAssumption};
@@ -74,3 +76,6 @@ pub use maximize::ThroughputMaximizer;
 pub use minimize::{Allocation, CostMinimizer};
 pub use priority::{ClassDecision, PriorityClass};
 pub use spec::{DataCenterSpec, DataCenterSystem};
+pub use speclint::{
+    lint_budget_weights, lint_env_mode, lint_premium_fraction, lint_system, LintMode, SpecReport,
+};

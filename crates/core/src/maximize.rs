@@ -63,6 +63,7 @@ impl ThroughputMaximizer {
         // Objective: total admitted rate.
         m.set_objective(vars.lam.iter().map(|&v| (v, 1.0)).collect(), 0.0);
 
+        crate::speclint::lint_model_if_enabled(&m)?;
         let sol = self.solver.solve(&m)?;
         crate::audit::certify_if_enabled(&m, &sol)?;
         Ok(extract_allocation(system, &vars, &sol))

@@ -94,7 +94,7 @@ pub(crate) fn build_piecewise_core(
             let headroom = site
                 .queue
                 .qos_headroom(site.response_target)
-                .expect("validated spec");
+                .expect("validated spec"); // repolint-allow(unwrap): spec checked at construction
             let n_i = m.add_var(
                 format!("n_{i}"),
                 VarType::Integer,
@@ -222,7 +222,7 @@ pub(crate) fn extract_allocation(
         let &(k, r, _, _) = vars.levels[i]
             .iter()
             .find(|&&(_, _, _, z)| sol.try_int_value(z) == Some(1))
-            .expect("exactly one level is active");
+            .expect("exactly one level is active"); // repolint-allow(unwrap): one_level row guarantees it
         let c = r * p;
         lambda.push(lam);
         servers.push(system.sites[i].servers_for_rate(lam));
@@ -300,6 +300,7 @@ impl CostMinimizer {
             .collect();
         m.set_objective(obj, 0.0);
 
+        crate::speclint::lint_model_if_enabled(&m)?;
         let sol = self.solver.solve(&m)?;
         crate::audit::certify_if_enabled(&m, &sol)?;
         Ok(extract_allocation(system, &vars, &sol))

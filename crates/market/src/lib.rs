@@ -27,6 +27,8 @@
 //!   the price-taker reductions (average/lowest price) used by the
 //!   Min-Only baselines.
 
+#![forbid(unsafe_code)]
+
 pub mod fivebus;
 pub mod linalg;
 pub mod network;

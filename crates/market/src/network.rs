@@ -131,8 +131,13 @@ impl Grid {
             b_bus[(j, i)] -= b;
         }
 
-        // Reduced system without the slack row/column.
+        // Reduced system without the slack row/column. `red_idx` maps a
+        // bus to its reduced index (None for the slack bus).
         let keep: Vec<usize> = (0..n).filter(|&i| i != s).collect();
+        let mut red_idx: Vec<Option<usize>> = vec![None; n];
+        for (ri, &i) in keep.iter().enumerate() {
+            red_idx[i] = Some(ri);
+        }
         let mut b_red = Matrix::zeros(n - 1, n - 1);
         for (ri, &i) in keep.iter().enumerate() {
             for (rj, &j) in keep.iter().enumerate() {
@@ -148,12 +153,10 @@ impl Grid {
             // flow = b * (theta_from - theta_to); theta = B_red^-1 * P_red.
             for (rj, &j) in keep.iter().enumerate() {
                 let mut v = 0.0;
-                if line.from.0 != s {
-                    let ri = keep.iter().position(|&k| k == line.from.0).unwrap();
+                if let Some(ri) = red_idx[line.from.0] {
                     v += b * b_inv[(ri, rj)];
                 }
-                if line.to.0 != s {
-                    let ri = keep.iter().position(|&k| k == line.to.0).unwrap();
+                if let Some(ri) = red_idx[line.to.0] {
                     v -= b * b_inv[(ri, rj)];
                 }
                 ptdf[(li, j)] = v;

@@ -31,29 +31,61 @@ pub struct StepPolicy {
 
 impl StepPolicy {
     /// Builds a policy from breakpoints (strictly increasing, in MW) and
-    /// per-level prices ($/MWh). Panics on malformed input.
+    /// per-level prices ($/MWh). Panics on malformed input; use
+    /// [`StepPolicy::try_new`] to get the violation as a value instead.
     pub fn new(breakpoints: Vec<f64>, prices: Vec<f64>) -> Self {
-        assert_eq!(
-            prices.len(),
-            breakpoints.len() + 1,
-            "need exactly one more price than breakpoints"
-        );
-        assert!(
-            breakpoints.windows(2).all(|w| w[0] < w[1]),
-            "breakpoints must be strictly increasing"
-        );
-        assert!(
-            breakpoints.iter().all(|&b| b > 0.0 && b.is_finite()),
-            "breakpoints must be positive and finite"
-        );
-        assert!(
-            prices.iter().all(|&p| p.is_finite() && p >= 0.0),
-            "prices must be finite and non-negative"
-        );
+        match Self::try_new(breakpoints, prices) {
+            Ok(p) => p,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Non-panicking constructor: returns a message naming the first
+    /// violated invariant. The spec linter builds on this so malformed
+    /// policies become diagnostics rather than panics.
+    pub fn try_new(breakpoints: Vec<f64>, prices: Vec<f64>) -> Result<Self, String> {
+        if prices.len() != breakpoints.len() + 1 {
+            return Err(format!(
+                "need exactly one more price than breakpoints \
+                 ({} breakpoints, {} prices)",
+                breakpoints.len(),
+                prices.len()
+            ));
+        }
+        if !breakpoints.windows(2).all(|w| w[0] < w[1]) {
+            return Err("breakpoints must be strictly increasing".to_string());
+        }
+        if !breakpoints.iter().all(|&b| b > 0.0 && b.is_finite()) {
+            return Err("breakpoints must be positive and finite".to_string());
+        }
+        if !prices.iter().all(|&p| p.is_finite() && p >= 0.0) {
+            return Err("prices must be finite and non-negative".to_string());
+        }
+        Ok(Self {
+            breakpoints,
+            prices,
+        })
+    }
+
+    /// Builds without checking any invariant. Only for constructing
+    /// deliberately malformed policies (lint corruption tests); every
+    /// accessor other than [`StepPolicy::breakpoints`] /
+    /// [`StepPolicy::prices`] may panic or return nonsense on the result.
+    pub fn new_unchecked(breakpoints: Vec<f64>, prices: Vec<f64>) -> Self {
         Self {
             breakpoints,
             prices,
         }
+    }
+
+    /// The raw breakpoints (MW). Safe on any policy, checked or not.
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+
+    /// The raw per-level prices ($/MWh). Safe on any policy.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
     }
 
     /// A flat (load-independent) policy — the paper's Policy 0, i.e. the

@@ -57,6 +57,13 @@ pub struct MipSolver {
     /// keeps the sequential search; `0` means "use
     /// [`billcap_rt::num_threads`]" (which honors `BILLCAP_THREADS`).
     pub threads: usize,
+    /// Run activity-based bound propagation
+    /// ([`crate::presolve::propagate_bounds`]) on the root node's bounds
+    /// before the search (integer path only; pure-LP solves are
+    /// untouched so their duals stay exact). Propagated bounds are
+    /// implied by the model, so the optimum is unchanged — the search
+    /// just starts from a tighter box. Default `true`.
+    pub root_propagation: bool,
 }
 
 impl Default for MipSolver {
@@ -69,6 +76,7 @@ impl Default for MipSolver {
             node_selection: NodeSelection::BestBound,
             gap_tol: 1e-9,
             threads: 1,
+            root_propagation: true,
         }
     }
 }
@@ -176,7 +184,7 @@ impl MipSolver {
                     ..SolveTrace::default()
                 },
             });
-            record_obs(sol.mip.as_ref().expect("just set"));
+            record_obs(sol.mip.as_ref().expect("just set")); // repolint-allow(unwrap): set two lines above
             return Ok(sol);
         }
 
@@ -205,6 +213,21 @@ impl MipSolver {
                 return Err(SolveError::Infeasible);
             }
             root_bounds[v.index()] = (lb, ub);
+        }
+
+        // Tighten the root box with activity-based bound propagation.
+        // The propagated bounds are implied by the constraints, so no
+        // integer-feasible point is cut; a propagation-time infeasibility
+        // proof short-circuits the whole search.
+        if self.root_propagation {
+            let prop = crate::presolve::propagate_bounds(model)?;
+            for (rb, &(pl, pu)) in root_bounds.iter_mut().zip(&prop.bounds) {
+                rb.0 = rb.0.max(pl);
+                rb.1 = rb.1.min(pu);
+                if rb.0 > rb.1 {
+                    return Err(SolveError::Infeasible);
+                }
+            }
         }
 
         let threads = self.effective_threads();

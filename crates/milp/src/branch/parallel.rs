@@ -33,7 +33,14 @@ use crate::model::{Model, VarId};
 use crate::solution::{MipStats, Solution, SolveTrace, Status};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering from poisoning: a poisoned lock means another
+/// worker panicked, and that panic propagates when the scoped pool
+/// joins, so the remaining workers need not panic a second time here.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Order-preserving encoding of an `f64` into a `u64`: for non-NaN
 /// values, `a < b  ⇔  key_bits(a) < key_bits(b)`.
@@ -155,7 +162,7 @@ impl Shared<'_> {
     /// Ties on the key keep the lexicographically smaller value vector,
     /// so the winning solution does not depend on worker scheduling.
     fn offer_incumbent(&self, key: f64, objective: f64, values: Vec<f64>) -> bool {
-        let mut inc = self.incumbent.lock().expect("incumbent mutex");
+        let mut inc = lock(&self.incumbent);
         let accept = match &*inc {
             None => true,
             Some((k, sol)) => key < *k || (key == *k && values < sol.values),
@@ -182,7 +189,7 @@ impl Shared<'_> {
     /// releases the in-flight slot, and wakes waiters. Returns the
     /// global dual bound after the update.
     fn complete(&self, w: usize, children: Vec<Node>) -> f64 {
-        let mut f = self.frontier.lock().expect("frontier mutex");
+        let mut f = lock(&self.frontier);
         for c in children {
             f.heap.push(c);
         }
@@ -196,13 +203,13 @@ impl Shared<'_> {
     /// Records the stop reason (first writer wins) and halts the search.
     fn finish(&self, outcome: Outcome) {
         {
-            let mut slot = self.outcome.lock().expect("outcome mutex");
+            let mut slot = lock(&self.outcome);
             if slot.is_none() {
                 *slot = Some(outcome);
             }
         }
         self.stop.store(true, Ordering::Release);
-        let _f = self.frontier.lock().expect("frontier mutex");
+        let _f = lock(&self.frontier);
         self.work_ready.notify_all();
     }
 
@@ -225,7 +232,7 @@ impl Shared<'_> {
     fn run_worker(&self, w: usize) {
         let mut trace = SolveTrace::default();
         self.worker_loop(w, &mut trace);
-        self.trace.lock().expect("trace mutex").merge(&trace);
+        lock(&self.trace).merge(&trace);
     }
 
     fn worker_loop(&self, w: usize, trace: &mut SolveTrace) {
@@ -233,7 +240,7 @@ impl Shared<'_> {
         let obs_on = billcap_obs::enabled();
         loop {
             let (node, depth_seen) = {
-                let mut f = self.frontier.lock().expect("frontier mutex");
+                let mut f = lock(&self.frontier);
                 loop {
                     if self.stop.load(Ordering::Acquire) || f.finished {
                         f.finished = true;
@@ -254,7 +261,10 @@ impl Shared<'_> {
                         self.work_ready.notify_all();
                         return;
                     }
-                    f = self.work_ready.wait(f).expect("frontier mutex");
+                    f = self
+                        .work_ready
+                        .wait(f)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             if obs_on {
@@ -364,14 +374,25 @@ impl Shared<'_> {
     fn into_result(self) -> Result<Solution, SolveError> {
         let nodes = self.nodes.into_inner();
         let lp_iterations = self.lp_iterations.into_inner();
-        let incumbent = self.incumbent.into_inner().expect("incumbent mutex");
-        let outcome = self.outcome.into_inner().expect("outcome mutex");
-        let trace = self.trace.into_inner().expect("trace mutex");
+        let incumbent = self
+            .incumbent
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let outcome = self
+            .outcome
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let trace = self
+            .trace
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         let sign = self.sign;
         match outcome {
             Some(Outcome::Error(e)) => Err(e),
             Some(Outcome::GapReached { bound_key }) => {
-                let (key, mut sol) = incumbent.expect("gap stop implies an incumbent");
+                let (key, mut sol) =
+                    // repolint-allow(unwrap): GapReached is only produced with an incumbent
+                    incumbent.expect("gap stop implies an incumbent");
                 sol.iterations = lp_iterations;
                 sol.degenerate = trace.degenerate_pivots;
                 // A raced bound snapshot can momentarily pass the incumbent;

@@ -38,6 +38,7 @@
 //! assert!((sol.objective - 10.0).abs() < 1e-6); // x = 2, y = 2
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod branch;
@@ -45,6 +46,7 @@ pub mod certify;
 pub mod error;
 pub mod expr;
 pub mod io;
+pub mod lint;
 pub mod model;
 pub mod oracle;
 pub mod presolve;
@@ -58,9 +60,10 @@ pub use certify::{
 pub use error::SolveError;
 pub use expr::LinExpr;
 pub use io::{parse_lp, write_lp};
+pub use lint::{lint_model, Finding, LintReport, ModelStats, Severity};
 pub use model::{Constraint, ConstraintOp, Model, Sense, VarId, VarType, Variable};
 pub use oracle::{brute_force_solve, brute_force_solve_capped};
-pub use presolve::{presolve, PresolveResult};
+pub use presolve::{presolve, propagate_bounds, PresolveResult, Propagation};
 pub use simplex::{LpSolver, Pricing};
 pub use solution::{MipStats, Solution, SolveTrace, Status};
 

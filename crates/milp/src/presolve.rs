@@ -1,6 +1,6 @@
 //! Presolve: problem reductions applied before the simplex/branch-and-bound.
 //!
-//! Three classic, always-safe reductions run to a fixpoint:
+//! Four classic, always-safe reductions run to a fixpoint:
 //!
 //! 1. **Singleton rows** (`a·x ⋈ b` with one variable) become bound
 //!    updates and are dropped.
@@ -8,6 +8,11 @@
 //!    removed from the model.
 //! 3. **Empty rows** are checked for consistency and dropped (an
 //!    inconsistent one proves infeasibility without any simplex work).
+//! 4. **Activity-based bound propagation** across multi-term rows: each
+//!    row's minimum activity implies a bound on every participating
+//!    variable (e.g. the big-M row `q − u·z ≤ 0` with `z ∈ [0, 1]`
+//!    implies `q ≤ u`). See [`propagate_bounds`], which is also exposed
+//!    standalone for the branch-and-bound root and the model linter.
 //!
 //! The result keeps a mapping back to the original variable space so the
 //! reduced model's solution can be [`PresolveResult::restore`]d. The
@@ -17,6 +22,15 @@
 use crate::error::SolveError;
 use crate::model::{ConstraintOp, Model, VarId, VarType};
 use crate::INT_TOL;
+
+/// Cap on propagation sweeps: geometric bound chains (`x ≤ αy`, `y ≤ αx`)
+/// converge but can take many rounds; the cap keeps presolve O(rows).
+const PROP_MAX_ROUNDS: usize = 32;
+
+/// Relative improvement a propagated bound must achieve to be applied.
+/// Doubles as the safety slack added to continuous tightenings so float
+/// round-off in the activity sums can never cut off the true optimum.
+const PROP_EPS: f64 = 1e-7;
 
 /// Outcome of presolving a model.
 #[derive(Debug, Clone)]
@@ -29,6 +43,9 @@ pub struct PresolveResult {
     pub fixed: Vec<(VarId, f64)>,
     /// Number of constraints removed.
     pub dropped_rows: usize,
+    /// Bound tightenings contributed by activity-based propagation
+    /// (beyond singleton-row folds and integer rounding).
+    pub propagated: usize,
     /// Total number of original variables.
     original_vars: usize,
 }
@@ -47,6 +64,184 @@ impl PresolveResult {
         }
         out
     }
+}
+
+/// Outcome of standalone activity-based bound propagation
+/// ([`propagate_bounds`]).
+#[derive(Debug, Clone)]
+pub struct Propagation {
+    /// Propagated `(lb, ub)` per variable, indexed by [`VarId::index`].
+    /// Always at least as tight as the model's declared bounds; integer
+    /// bounds are rounded inward.
+    pub bounds: Vec<(f64, f64)>,
+    /// Individual bound tightenings applied (beyond integer rounding).
+    pub tightened: usize,
+    /// Sweeps over the rows until the fixpoint (or the round cap).
+    pub rounds: usize,
+}
+
+/// Rewrites a constraint as one or two `≤` rows over variable *indices*
+/// (`Ge` is negated, `Eq` contributes both directions) so the propagation
+/// pass only ever reasons about minimum activity against an upper bound.
+fn le_normalized(
+    out: &mut Vec<(Vec<(usize, f64)>, f64)>,
+    terms: &[(usize, f64)],
+    op: ConstraintOp,
+    rhs: f64,
+) {
+    let negated = || terms.iter().map(|&(v, c)| (v, -c)).collect::<Vec<_>>();
+    match op {
+        ConstraintOp::Le => out.push((terms.to_vec(), rhs)),
+        ConstraintOp::Ge => out.push((negated(), -rhs)),
+        ConstraintOp::Eq => {
+            out.push((terms.to_vec(), rhs));
+            out.push((negated(), -rhs));
+        }
+    }
+}
+
+/// One propagation sweep: for every `≤`-row, the row's minimum activity
+/// with one variable removed bounds that variable. Returns whether any
+/// bound was tightened; `Err(Infeasible)` when a variable's domain
+/// empties (a static infeasibility proof — no simplex ran).
+fn propagate_pass(
+    rows: &[(Vec<(usize, f64)>, f64)],
+    lb: &mut [f64],
+    ub: &mut [f64],
+    is_int: &[bool],
+    tightened: &mut usize,
+) -> Result<bool, SolveError> {
+    let tol = 1e-9;
+    let mut changed = false;
+    for (terms, rhs) in rows {
+        // Minimum activity split into its finite part and the number of
+        // −∞ contributions: with two or more, no variable's residual is
+        // finite and the row propagates nothing.
+        let mut finite_sum = 0.0;
+        let mut neg_inf = 0usize;
+        for &(j, a) in terms {
+            let mc = if a > 0.0 { a * lb[j] } else { a * ub[j] };
+            if mc == f64::NEG_INFINITY {
+                neg_inf += 1;
+            } else {
+                finite_sum += mc;
+            }
+        }
+        if neg_inf > 1 || !finite_sum.is_finite() {
+            continue;
+        }
+        for &(j, a) in terms {
+            if a == 0.0 {
+                continue;
+            }
+            let mc = if a > 0.0 { a * lb[j] } else { a * ub[j] };
+            let residual = if mc == f64::NEG_INFINITY {
+                finite_sum // j owns the single infinite contribution
+            } else if neg_inf > 0 {
+                continue; // another variable's contribution is −∞
+            } else {
+                finite_sum - mc
+            };
+            // a·x_j ≤ rhs − residual.
+            let bound = (rhs - residual) / a;
+            if !bound.is_finite() {
+                continue;
+            }
+            if a > 0.0 {
+                let new_ub = if is_int[j] {
+                    (bound + INT_TOL).floor()
+                } else {
+                    bound + PROP_EPS * bound.abs().max(1.0)
+                };
+                let improves = if ub[j].is_finite() {
+                    new_ub < ub[j] - PROP_EPS * ub[j].abs().max(1.0)
+                } else {
+                    new_ub.is_finite()
+                };
+                if improves {
+                    ub[j] = new_ub;
+                    *tightened += 1;
+                    changed = true;
+                    if lb[j] > ub[j] + tol {
+                        return Err(SolveError::Infeasible);
+                    }
+                }
+            } else {
+                let new_lb = if is_int[j] {
+                    (bound - INT_TOL).ceil()
+                } else {
+                    bound - PROP_EPS * bound.abs().max(1.0)
+                };
+                let improves = if lb[j].is_finite() {
+                    new_lb > lb[j] + PROP_EPS * lb[j].abs().max(1.0)
+                } else {
+                    new_lb.is_finite()
+                };
+                if improves {
+                    lb[j] = new_lb;
+                    *tightened += 1;
+                    changed = true;
+                    if lb[j] > ub[j] + tol {
+                        return Err(SolveError::Infeasible);
+                    }
+                }
+            }
+        }
+    }
+    Ok(changed)
+}
+
+/// Activity-based bound propagation over the whole model, standalone.
+///
+/// Every returned bound is *implied* by the declared bounds plus the
+/// constraints, so replacing the declared bounds with the propagated
+/// ones changes neither the feasible set nor the optimum — it only
+/// shrinks the LP relaxation. The branch-and-bound root uses this (see
+/// [`crate::MipSolver::root_propagation`]) and the model linter reports
+/// it as the `M007` static-infeasibility check.
+///
+/// Returns [`SolveError::Infeasible`] when propagation empties a
+/// variable's domain: a proof of infeasibility with zero simplex work.
+pub fn propagate_bounds(model: &Model) -> Result<Propagation, SolveError> {
+    model.validate()?;
+    let mut lb: Vec<f64> = model.variables().iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = model.variables().iter().map(|v| v.ub).collect();
+    let is_int: Vec<bool> = model
+        .variables()
+        .iter()
+        .map(|v| matches!(v.var_type, VarType::Integer | VarType::Binary))
+        .collect();
+    // Integer bounds rounded inward first (not counted as tightenings).
+    for j in 0..lb.len() {
+        if is_int[j] {
+            if lb[j].is_finite() {
+                lb[j] = (lb[j] - INT_TOL).ceil();
+            }
+            if ub[j].is_finite() {
+                ub[j] = (ub[j] + INT_TOL).floor();
+            }
+            if lb[j] > ub[j] {
+                return Err(SolveError::Infeasible);
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(model.num_constraints());
+    for c in model.constraints() {
+        let terms: Vec<(usize, f64)> = c.terms.iter().map(|&(v, co)| (v.index(), co)).collect();
+        le_normalized(&mut rows, &terms, c.op, c.rhs);
+    }
+    let mut tightened = 0usize;
+    let mut rounds = 0usize;
+    while rounds < PROP_MAX_ROUNDS
+        && propagate_pass(&rows, &mut lb, &mut ub, &is_int, &mut tightened)?
+    {
+        rounds += 1;
+    }
+    Ok(Propagation {
+        bounds: lb.into_iter().zip(ub).collect(),
+        tightened,
+        rounds,
+    })
 }
 
 /// Applies the reductions to a fixpoint. Returns
@@ -82,6 +277,8 @@ pub fn presolve(model: &Model) -> Result<PresolveResult, SolveError> {
         .collect();
     let mut fixed_value: Vec<Option<f64>> = vec![None; model.num_vars()];
     let tol = 1e-9;
+    let mut prop_rounds = 0usize;
+    let mut prop_tightened = 0usize;
 
     let mut changed = true;
     while changed {
@@ -189,6 +386,21 @@ pub fn presolve(model: &Model) -> Result<PresolveResult, SolveError> {
                 _ => {}
             }
         }
+
+        // Activity-based bound propagation across the surviving
+        // multi-term rows: tightened bounds feed the next iteration's
+        // singleton/fixed-variable rules (a propagated `lb == ub` fixes
+        // the variable on the following sweep).
+        if prop_rounds < PROP_MAX_ROUNDS {
+            let mut le_rows = Vec::new();
+            for row in rows.iter().filter(|r| r.alive && r.terms.len() >= 2) {
+                le_normalized(&mut le_rows, &row.terms, row.op, row.rhs);
+            }
+            if propagate_pass(&le_rows, &mut lb, &mut ub, &is_int, &mut prop_tightened)? {
+                prop_rounds += 1;
+                changed = true;
+            }
+        }
     }
 
     // Assemble the reduced model.
@@ -212,7 +424,7 @@ pub fn presolve(model: &Model) -> Result<PresolveResult, SolveError> {
         let terms: Vec<(VarId, f64)> = row
             .terms
             .iter()
-            .map(|&(v, co)| (new_id[v].expect("unfixed var kept"), co))
+            .map(|&(v, co)| (new_id[v].expect("unfixed var kept"), co)) // repolint-allow(unwrap): kept vars are renumbered
             .collect();
         reduced.add_constraint(row.name.clone(), terms, row.op, row.rhs);
     }
@@ -222,7 +434,7 @@ pub fn presolve(model: &Model) -> Result<PresolveResult, SolveError> {
     for &(v, co) in model.objective() {
         match fixed_value[v.index()] {
             Some(x) => obj_const += co * x,
-            None => obj_terms.push((new_id[v.index()].expect("kept"), co)),
+            None => obj_terms.push((new_id[v.index()].expect("kept"), co)), // repolint-allow(unwrap): kept vars are renumbered
         }
     }
     reduced.set_objective(obj_terms, obj_const);
@@ -237,6 +449,7 @@ pub fn presolve(model: &Model) -> Result<PresolveResult, SolveError> {
         kept,
         fixed,
         dropped_rows,
+        propagated: prop_tightened,
         original_vars: model.num_vars(),
     })
 }
@@ -261,7 +474,11 @@ mod tests {
         let v = &p.reduced.variables()[0];
         assert_eq!((v.lb, v.ub), (0.0, 5.0));
         let w = &p.reduced.variables()[1];
-        assert_eq!((w.lb, w.ub), (3.0, 100.0));
+        assert_eq!(w.lb, 3.0);
+        // Propagation additionally bounds y through the joint row:
+        // y <= 20 - min(x) = 20 (plus the continuous safety slack).
+        assert!(w.ub >= 20.0 && w.ub < 20.01, "y ub {}", w.ub);
+        assert!(p.propagated >= 1);
     }
 
     #[test]
@@ -331,6 +548,43 @@ mod tests {
     }
 
     #[test]
+    fn restore_mixes_fixed_kept_and_singleton_bounded_vars() {
+        // Four variables exercising every restore path at once: one fixed
+        // by declaration, one fixed by an equality singleton row, one
+        // whose bounds come from a folded singleton row, one untouched.
+        let mut m = Model::new("mix", Sense::Maximize);
+        let a = m.add_cont("a", 2.0, 2.0); // fixed by bounds
+        let b = m.add_cont("b", 0.0, 50.0); // fixed by the eq row below
+        let c = m.add_cont("c", 0.0, 100.0); // singleton-bounded to <= 9
+        let d = m.add_var("d", VarType::Integer, 0.0, 6.0); // kept
+        m.add_constraint("fix_b", vec![(b, 3.0)], ConstraintOp::Eq, 12.0); // b = 4
+        m.add_constraint("cap_c", vec![(c, 2.0)], ConstraintOp::Le, 18.0); // c <= 9
+        m.add_constraint(
+            "joint",
+            vec![(a, 1.0), (b, 1.0), (c, 1.0), (d, 1.0)],
+            ConstraintOp::Le,
+            17.0,
+        );
+        m.set_objective(vec![(a, 1.0), (b, 1.0), (c, 2.0), (d, 3.0)], 0.0);
+        let p = presolve(&m).unwrap();
+        // a and b were eliminated; c and d survive with folded bounds.
+        assert_eq!(p.reduced.num_vars(), 2);
+        let mut fixed = p.fixed.clone();
+        fixed.sort_by_key(|&(v, _)| v.index());
+        assert_eq!(fixed, vec![(a, 2.0), (b, 4.0)]);
+        assert_eq!(p.kept, vec![c, d]);
+        let sol = MipSolver::default().solve(&p.reduced).unwrap();
+        let full = p.restore(&sol.values);
+        assert_eq!(full.len(), 4);
+        assert_eq!(full[a.index()], 2.0);
+        assert_eq!(full[b.index()], 4.0);
+        assert!(m.is_feasible(&full, 1e-6));
+        // Direct solve agrees with solve-reduced-then-restore.
+        let direct = MipSolver::default().solve(&m).unwrap();
+        assert!((m.eval_objective(&full) - direct.objective).abs() < 1e-9);
+    }
+
+    #[test]
     fn presolved_milp_preserves_optimum() {
         // max 10a + 13b + 7c with a forced and a bounded-away variable.
         let mut m = Model::new("mip", Sense::Maximize);
@@ -353,6 +607,90 @@ mod tests {
         let obj = m.eval_objective(&full);
         assert!((obj - direct.objective).abs() < 1e-9);
         assert!(m.is_feasible(&full, 1e-6));
+    }
+
+    #[test]
+    fn propagation_tightens_big_m_row() {
+        // q - 400 z <= 0 with z binary implies q <= 400, far below q's
+        // declared ub of 1000 (the step-price level rows have exactly
+        // this shape).
+        let mut m = Model::new("bigm", Sense::Maximize);
+        let q = m.add_cont("q", 0.0, 1000.0);
+        let z = m.add_binary("z");
+        m.add_constraint("lvl_hi", vec![(q, 1.0), (z, -400.0)], ConstraintOp::Le, 0.0);
+        m.set_objective(vec![(q, 1.0)], 0.0);
+        let prop = propagate_bounds(&m).unwrap();
+        assert!(prop.tightened >= 1);
+        let (_, qu) = prop.bounds[q.index()];
+        assert!(qu <= 400.0 + 1e-3, "q ub {qu} not tightened to 400");
+    }
+
+    #[test]
+    fn propagation_proves_infeasibility_statically() {
+        // x + y >= 25 with x <= 10, y <= 10 can never hold.
+        let mut m = Model::new("inf", Sense::Minimize);
+        let x = m.add_cont("x", 0.0, 10.0);
+        let y = m.add_cont("y", 0.0, 10.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 25.0);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        assert_eq!(propagate_bounds(&m).unwrap_err(), SolveError::Infeasible);
+        // presolve reaches the same verdict through its propagation rule.
+        assert_eq!(presolve(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn propagation_derives_finite_bounds_from_infinite_domains() {
+        // x free, x + y <= 8 with y >= 3  =>  x <= 5.
+        let mut m = Model::new("free", Sense::Maximize);
+        let x = m.add_cont("x", f64::NEG_INFINITY, f64::INFINITY);
+        let y = m.add_cont("y", 3.0, 100.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 8.0);
+        m.set_objective(vec![(x, 1.0)], 0.0);
+        let prop = propagate_bounds(&m).unwrap();
+        let (_, xu) = prop.bounds[x.index()];
+        assert!((xu - 5.0).abs() < 1e-3, "x ub {xu}");
+        // y's contribution stays -inf-free; x's lb is still -inf (no row
+        // bounds it from below).
+        assert_eq!(prop.bounds[x.index()].0, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn propagation_rounds_integer_bounds() {
+        // 3k <= 10 with k integer  =>  k <= 3.
+        let mut m = Model::new("int", Sense::Maximize);
+        let k = m.add_var("k", VarType::Integer, 0.0, 100.0);
+        let x = m.add_cont("x", 0.0, 1.0);
+        m.add_constraint("c", vec![(k, 3.0), (x, 1.0)], ConstraintOp::Le, 10.0);
+        m.set_objective(vec![(k, 1.0)], 0.0);
+        let prop = propagate_bounds(&m).unwrap();
+        assert_eq!(prop.bounds[k.index()].1, 3.0);
+    }
+
+    #[test]
+    fn propagation_preserves_milp_optimum() {
+        use crate::MipSolver;
+        // Same big-M structure the optimizers build; solving with and
+        // without root propagation must agree exactly.
+        let mut m = Model::new("opt", Sense::Minimize);
+        let q0 = m.add_cont("q0", 0.0, 500.0);
+        let q1 = m.add_cont("q1", 0.0, 500.0);
+        let z0 = m.add_binary("z0");
+        let z1 = m.add_binary("z1");
+        m.add_constraint("hi0", vec![(q0, 1.0), (z0, -200.0)], ConstraintOp::Le, 0.0);
+        m.add_constraint("hi1", vec![(q1, 1.0), (z1, -450.0)], ConstraintOp::Le, 0.0);
+        m.add_constraint("lo1", vec![(q1, 1.0), (z1, -200.0)], ConstraintOp::Ge, 0.0);
+        m.add_constraint("one", vec![(z0, 1.0), (z1, 1.0)], ConstraintOp::Eq, 1.0);
+        m.add_constraint("dem", vec![(q0, 1.0), (q1, 1.0)], ConstraintOp::Ge, 180.0);
+        m.set_objective(vec![(q0, 30.0), (q1, 45.0)], 0.0);
+        let with = MipSolver::default().solve(&m).unwrap();
+        let without = MipSolver {
+            root_propagation: false,
+            ..Default::default()
+        }
+        .solve(&m)
+        .unwrap();
+        assert_eq!(with.objective, without.objective);
+        assert!(m.is_feasible(&with.values, 1e-6));
     }
 
     #[test]

@@ -337,7 +337,9 @@ impl LpSolver {
         // --- 5. phase 1 ---
         if has_artificials {
             self.optimize(&mut t, true, &mut iterations, &mut degenerate)?;
-            let phase1_obj = -t.cost1.as_ref().expect("phase-1 cost row")[total_cols];
+            let phase1_obj =
+                // repolint-allow(unwrap): artificials imply a phase-1 cost row
+                -t.cost1.as_ref().expect("phase-1 cost row")[total_cols];
             if phase1_obj > 1e-7 {
                 return Err(SolveError::Infeasible);
             }
@@ -430,7 +432,7 @@ impl LpSolver {
             // Entering column. Artificials may enter only in phase 1.
             let limit = if phase1 { cols } else { t.art_start };
             let cost_row: &[f64] = if phase1 {
-                t.cost1.as_ref().expect("phase-1 cost row")
+                t.cost1.as_ref().expect("phase-1 cost row") // repolint-allow(unwrap): phase1 implies the row
             } else {
                 &t.cost
             };

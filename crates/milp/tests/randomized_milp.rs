@@ -203,6 +203,83 @@ fn presolve_preserves_optimum() {
     });
 }
 
+/// Presolve equivalence on models that actually trigger its rules: the
+/// base instance is decorated with a fixed variable substituted into a
+/// coupling row, a singleton row folding into bounds, and a big-M
+/// indicator row for the propagation pass. Solving the reduced model and
+/// restoring must match the direct solve — and so must disabling root
+/// propagation in the branch-and-bound.
+#[test]
+fn presolve_equivalence_with_fixed_singleton_and_bigm_rows() {
+    let no_prop = MipSolver {
+        root_propagation: false,
+        ..Default::default()
+    };
+    for_random_ips(0x7000, |rng, ip| {
+        let mut model = build_model(ip, true);
+        let vars: Vec<_> = (0..ip.n).map(billcap_milp::VarId::from_index).collect();
+
+        // A variable fixed by declaration, coupled to the others so its
+        // substitution rewrites a multi-term row's rhs.
+        let fv = rng.random_i64_in(0, 3) as f64;
+        let fixed = model.add_var("fixed", VarType::Integer, fv, fv);
+        let mut coupling: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        coupling.push((fixed, 1.0));
+        let slack = rng.random_i64_in(0, 10) as f64;
+        model.add_constraint(
+            "couple",
+            coupling,
+            ConstraintOp::Le,
+            fv + ip.ubound as f64 * ip.n as f64 + slack,
+        );
+
+        // A singleton row tightening the first variable's upper bound.
+        let cap = rng.random_i64_in(0, ip.ubound) as f64;
+        model.add_constraint("single", vec![(vars[0], 2.0)], ConstraintOp::Le, 2.0 * cap);
+
+        // A big-M indicator `q <= M z` with M far below q's declared
+        // bound — the shape the propagation pass tightens (q <= M). M is
+        // kept modest on purpose: an M near 1/INT_TOL lets the LP park z
+        // at an "integral" sliver and round to an infeasible point,
+        // which is exactly what lint code M002 warns about.
+        let m_coef = rng.random_i64_in(2, 10) as f64;
+        let q = model.add_var("q", VarType::Integer, 0.0, 100.0);
+        let z = model.add_var("z", VarType::Binary, 0.0, 1.0);
+        model.add_constraint("bigm", vec![(q, 1.0), (z, -m_coef)], ConstraintOp::Le, 0.0);
+        let mut obj = model.objective().to_vec();
+        obj.push((q, 1.0));
+        model.set_objective(obj, 0.0);
+
+        let direct = MipSolver::default().solve(&model).expect("x=0, z=0 works");
+        let p = presolve(&model).expect("a feasible point exists");
+        assert!(
+            p.propagated >= 1,
+            "the big-M row must trigger at least one propagated tightening"
+        );
+        assert!(
+            p.fixed.iter().any(|&(v, x)| v == fixed && x == fv),
+            "declared-fixed variable must be eliminated"
+        );
+        let reduced_sol = MipSolver::default().solve(&p.reduced).unwrap();
+        let full = p.restore(&reduced_sol.values);
+        let obj = model.eval_objective(&full);
+        assert!(
+            (obj - direct.objective).abs() < 1e-6,
+            "presolved {obj} vs direct {}",
+            direct.objective
+        );
+        assert!(model.is_feasible(&full, 1e-6));
+
+        let unpropagated = no_prop.solve(&model).unwrap();
+        assert!(
+            (unpropagated.objective - direct.objective).abs() < 1e-6,
+            "root propagation changed the optimum: {} vs {}",
+            direct.objective,
+            unpropagated.objective
+        );
+    });
+}
+
 /// LP-format round trip preserves the optimum on random models.
 #[test]
 fn lp_format_roundtrip_preserves_optimum() {

@@ -13,6 +13,8 @@
 //! clocks are apples-to-oranges across machine classes — but work
 //! counters are deterministic, so a regression in one still fails.
 
+#![forbid(unsafe_code)]
+
 use billcap_obs_analyze::trajectory::{gate, BenchTrajectory, GateConfig};
 use std::process::ExitCode;
 

@@ -51,6 +51,7 @@
 //! assert!(!report.has_regressions());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diff;

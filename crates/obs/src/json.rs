@@ -321,7 +321,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 // are valid).
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| JsonError::at(*pos, "invalid utf-8"))?;
-                let c = rest.chars().next().expect("non-empty");
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| JsonError::at(*pos, "unexpected end of input"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -58,15 +58,18 @@
 //! assert_eq!(back, snap);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod export;
 pub mod json;
 pub mod metrics;
 mod recorder;
+pub mod stopwatch;
 
 pub use metrics::{GaugeStat, HistogramSnapshot, SpanEvent, SpanStats, TraceSnapshot};
 pub use recorder::{Recorder, Span};
+pub use stopwatch::Stopwatch;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;

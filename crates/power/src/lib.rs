@@ -26,6 +26,8 @@
 //! *linearized* watts-per-active-server coefficient used by the MILP
 //! formulation in `billcap-core`.
 
+#![forbid(unsafe_code)]
+
 pub mod cooling;
 pub mod datacenter;
 pub mod fattree;

@@ -53,6 +53,7 @@
 //! assert!(worse > target);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod des;

@@ -148,7 +148,7 @@ impl Harness {
                 t.elapsed().as_nanos() as f64 / iters as f64
             })
             .collect();
-        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are never NaN"));
+        per_iter_ns.sort_by(f64::total_cmp);
 
         let n = per_iter_ns.len();
         let median_ns = if n % 2 == 1 {

@@ -20,6 +20,8 @@
 //! * [`bench`](mod@bench) — a self-contained benchmark harness for
 //!   `harness = false` bench targets.
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod pool;
 pub mod rng;

@@ -19,7 +19,7 @@
 //! the MILP solver's shared-frontier branch-and-bound runs on it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Default worker count: `BILLCAP_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism (1 if unknown).
@@ -129,20 +129,23 @@ where
                 Ok(v) => local.push((i, v)),
                 Err(e) => {
                     first_error_idx.fetch_min(i, Ordering::AcqRel);
-                    let mut slot = error.lock().expect("error mutex");
+                    let mut slot = error.lock().unwrap_or_else(PoisonError::into_inner);
                     if slot.as_ref().map(|(j, _)| i < *j).unwrap_or(true) {
                         *slot = Some((i, e));
                     }
                 }
             }
         }
-        results.lock().expect("results mutex").extend(local);
+        results
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend(local);
     });
 
-    if let Some((_, e)) = error.into_inner().expect("error mutex") {
+    if let Some((_, e)) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
         return Err(e);
     }
-    let mut collected = results.into_inner().expect("results mutex");
+    let mut collected = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     collected.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(collected.len(), items.len());
     Ok(collected.into_iter().map(|(_, v)| v).collect())

@@ -10,6 +10,8 @@
 //! solver ablation_power ablation_budget ablation_prediction
 //! ablation_network ablation_weather hierarchical predictors seeds`.
 
+#![forbid(unsafe_code)]
+
 use billcap_sim::experiments::{self, DEFAULT_SEED};
 use billcap_sim::export;
 use std::path::PathBuf;

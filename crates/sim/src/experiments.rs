@@ -14,9 +14,9 @@ use billcap_core::{
     evaluate_allocation, CoreError, CostMinimizer, DataCenterSpec, DataCenterSystem,
 };
 use billcap_market::{fivebus, FiveBusConsumer, PricingPolicySet, StepPolicy};
+use billcap_obs::Stopwatch;
 use billcap_power::{CoolingModel, DcPowerModel, FatTree, ServerModel, SwitchPower};
 use billcap_rt::try_par_map;
-use std::time::Instant;
 
 /// Default seed used by the experiment suite (any seed reproduces the same
 /// qualitative shapes; this one is the suite's reference).
@@ -37,7 +37,7 @@ pub struct Fig1 {
 
 /// Runs the Figure 1 sweep (0–900 MW in 10 MW steps).
 pub fn fig1() -> Fig1 {
-    let derived = fivebus::derive_policies(900.0, 10.0).expect("five-bus system is connected");
+    let derived = fivebus::derive_policies(900.0, 10.0).expect("five-bus system is connected"); // repolint-allow(unwrap): reference grid
     let mut series = Vec::new();
     let mut policies = Vec::new();
     for (c, s, p) in derived {
@@ -103,9 +103,9 @@ pub fn fig3(seed: u64) -> Result<Fig3, CoreError> {
     let scenario = Scenario::paper_default(1, seed);
     let mut results: Vec<MonthlyReport> =
         try_par_map(&Strategy::ALL, |&s| run_month(&scenario, s, None))?;
-    let min_only_low = results.pop().expect("three strategies");
-    let min_only_avg = results.pop().expect("three strategies");
-    let capping = results.pop().expect("three strategies");
+    let min_only_low = results.pop().expect("three strategies"); // repolint-allow(unwrap): ALL has 3 entries
+    let min_only_avg = results.pop().expect("three strategies"); // repolint-allow(unwrap): ALL has 3 entries
+    let capping = results.pop().expect("three strategies"); // repolint-allow(unwrap): ALL has 3 entries
     Ok(Fig3 {
         capping,
         min_only_avg,
@@ -415,6 +415,7 @@ pub fn synthetic_system(n: usize) -> DataCenterSystem {
     let policies = PricingPolicySet {
         policies: (0..n).map(|i| StepPolicy::paper_policy(i % 3)).collect(),
     };
+    // repolint-allow(unwrap): generator emits valid specs by construction
     DataCenterSystem::new(sites, policies).expect("synthetic system is valid")
 }
 
@@ -429,15 +430,15 @@ pub fn solver_scaling(repetitions: usize) -> SolverScaling {
         let lambda = 1e8;
         let mut times: Vec<f64> = (0..repetitions.max(1))
             .map(|_| {
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 let alloc = minimizer
                     .solve(&system, lambda, &background)
-                    .expect("synthetic instance is feasible");
+                    .expect("synthetic instance is feasible"); // repolint-allow(unwrap): sized to stay feasible
                 assert!(alloc.total_lambda > 0.0);
-                t.elapsed().as_secs_f64() * 1e6
+                t.elapsed_secs() * 1e6
             })
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(f64::total_cmp);
         rows.push((n, 5, times[times.len() / 2]));
     }
     SolverScaling { rows }
@@ -495,6 +496,7 @@ fn server_only_system(system: &DataCenterSystem) -> DataCenterSystem {
             blinded
         })
         .collect();
+    // repolint-allow(unwrap): blinding only changes prices, validity is unchanged
     DataCenterSystem::new(sites, system.policies.clone()).expect("blinded system stays valid")
 }
 
@@ -687,21 +689,21 @@ pub fn hierarchical_comparison(repetitions: usize) -> HierarchicalComparison {
         let mut central_cost = 0.0;
         let mut hier_cost = 0.0;
         for _ in 0..repetitions.max(1) {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             central_cost = minimizer
                 .solve(&system, lambda, &background)
-                .expect("feasible")
+                .expect("feasible") // repolint-allow(unwrap): demand sized below capacity
                 .total_cost;
-            central_times.push(t.elapsed().as_secs_f64() * 1e6);
-            let t = Instant::now();
+            central_times.push(t.elapsed_secs() * 1e6);
+            let t = Stopwatch::start();
             hier_cost = hier
                 .solve(&system, lambda, &background)
-                .expect("feasible")
+                .expect("feasible") // repolint-allow(unwrap): demand sized below capacity
                 .total_cost;
-            hier_times.push(t.elapsed().as_secs_f64() * 1e6);
+            hier_times.push(t.elapsed_secs() * 1e6);
         }
-        central_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        hier_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        central_times.sort_by(f64::total_cmp);
+        hier_times.sort_by(f64::total_cmp);
         rows.push((
             n,
             central_times[central_times.len() / 2],

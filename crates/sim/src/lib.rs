@@ -20,6 +20,8 @@
 //! Parameter sweeps (policy families, budget ladders) fan out on the
 //! `billcap-rt` worker pool — each month simulation is independent.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod export;
 pub mod metrics;

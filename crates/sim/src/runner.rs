@@ -95,7 +95,7 @@ pub fn run_month_with(
                     .as_ref()
                     .map(Budgeter::hourly_budget)
                     .unwrap_or(f64::INFINITY);
-                let t_start = std::time::Instant::now();
+                let t_start = billcap_obs::Stopwatch::start();
                 let mut hour_span = billcap_obs::span("hour");
                 let decision =
                     capper.decide_hour(&scenario.system, offered, premium, &d, hourly_budget)?;
@@ -133,7 +133,7 @@ pub fn run_month_with(
                 }
                 drop(hour_span);
                 let trace = HourTrace {
-                    wall_ns: t_start.elapsed().as_nanos() as u64,
+                    wall_ns: t_start.elapsed_ns(),
                     solves: decision.trace.solves,
                     nodes: decision.trace.nodes,
                     lp_iterations: decision.trace.lp_iterations,
@@ -164,7 +164,7 @@ pub fn run_month_with(
                 let admitted = offered.min(capacity);
                 let decision = min_only
                     .as_ref()
-                    .expect("baseline constructed")
+                    .expect("baseline constructed") // repolint-allow(unwrap): built in this match arm
                     .solve(&scenario.system, admitted)?;
                 let realized = evaluate_allocation(&scenario.system, &decision.lambda, &d);
                 let premium_served = premium.min(admitted);

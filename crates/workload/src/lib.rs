@@ -28,6 +28,8 @@
 //!   weights learned from history, with intra-week carry-over of unused
 //!   budget (paper Section III and VI-B).
 
+#![forbid(unsafe_code)]
+
 pub mod background;
 pub mod budgeter;
 pub mod generator;

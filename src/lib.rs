@@ -46,6 +46,8 @@
 //! `cargo run --release -p billcap-sim --bin paper_experiments` for the
 //! full figure-by-figure reproduction.
 
+#![forbid(unsafe_code)]
+
 pub use billcap_core as core;
 pub use billcap_market as market;
 pub use billcap_milp as milp;
