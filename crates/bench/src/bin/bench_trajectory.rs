@@ -74,6 +74,23 @@ fn bench_solvers(h: &mut Harness) {
             .expect("feasible");
         black_box(alloc.total_cost)
     });
+
+    // The same instance with warm starts disabled: every node cold-starts
+    // from the all-slack dual basis, isolating what the parent-basis
+    // warm-start protocol buys on a deep tree.
+    let cold = CostMinimizer {
+        solver: MipSolver {
+            warm_start: false,
+            ..MipSolver::default()
+        },
+        ..Default::default()
+    };
+    h.bench("bnb_10x10/cold_start", || {
+        let alloc = cold
+            .solve(black_box(&sys), black_box(lambda), black_box(&background))
+            .expect("feasible");
+        black_box(alloc.total_cost)
+    });
 }
 
 /// Runs the traced one-week capping reference and returns its work

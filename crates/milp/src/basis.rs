@@ -1,0 +1,580 @@
+//! LU-factorized simplex basis with product-form eta updates.
+//!
+//! The basis matrices that branch-and-bound produces on the bill-capping
+//! MILPs are dominated by slack columns (unit vectors): a 231-row basis
+//! typically holds fewer than 40 structural columns. [`BasisFactorization`]
+//! exploits that with a two-stage factorization:
+//!
+//! 1. **Forward triangularization** — repeatedly pivot on columns that
+//!    have exactly one entry in the still-active rows. Every slack column
+//!    pivots for free, and most structural columns follow once their
+//!    neighbours are eliminated. This yields a large permuted
+//!    upper-triangular block at zero fill-in.
+//! 2. **Dense bump** — whatever small irreducible block remains (usually
+//!    a handful of rows) is factorized with dense partial-pivoting LU.
+//!
+//! Basis changes between refactorizations are absorbed as product-form
+//! *eta* matrices (`B = B₀·E₁…Eₖ`), the classic update that
+//! Forrest–Tomlin refines; the engine refactorizes from scratch once the
+//! eta file grows past its refactorization interval or a pivot looks
+//! numerically unstable (see [`crate::revised`] for the policy).
+
+/// A pivot too small to divide by — the basis is numerically singular.
+const SINGULAR_EPS: f64 = 1e-10;
+
+/// Eta entries smaller than this are dropped from the product form.
+const ETA_DROP_EPS: f64 = 1e-12;
+
+/// One product-form update: basis slot `slot` was replaced by a column
+/// whose basis-space image (`B⁻¹·a`) was `w`. Applying the inverse eta
+/// to a vector costs `O(nnz(w))`.
+#[derive(Debug, Clone)]
+struct Eta {
+    /// Basis slot whose column was replaced.
+    slot: usize,
+    /// Off-diagonal entries of `w` as `(slot, value)` pairs.
+    vals: Vec<(usize, f64)>,
+    /// `w[slot]` — the pivot element; guaranteed away from zero.
+    diag: f64,
+}
+
+/// Sparse upper-triangular column from the forward-triangularization pass.
+#[derive(Debug, Clone)]
+struct TriCol {
+    /// Diagonal (pivot) value.
+    diag: f64,
+    /// Entries above the diagonal as `(permuted position, value)`,
+    /// every position strictly smaller than this column's own.
+    above: Vec<(usize, f64)>,
+}
+
+/// LU factorization of an `m × m` simplex basis, plus the eta file of
+/// updates applied since the last refactorization.
+///
+/// Vectors pass through two index spaces: *row space* (constraint rows,
+/// the space of right-hand sides and duals) and *slot space* (positions
+/// in the ordered list of basic columns, the space of basic solutions).
+/// [`ftran`](Self::ftran) maps row space → slot space (`B·z = b`);
+/// [`btran`](Self::btran) maps slot space → row space (`Bᵀ·y = c_B`).
+#[derive(Debug, Clone)]
+pub struct BasisFactorization {
+    m: usize,
+    /// Size of the triangular block.
+    t: usize,
+    /// Permuted position `k` ↔ original row `row_of[k]`.
+    row_of: Vec<usize>,
+    /// Permuted position `k` ↔ basis slot `col_of[k]`.
+    col_of: Vec<usize>,
+    /// Triangular columns, one per position `k < t`.
+    tri: Vec<TriCol>,
+    /// For each bump column `k ≥ t`: its entries in triangular rows,
+    /// as `(permuted position < t, value)`.
+    u12: Vec<Vec<(usize, f64)>>,
+    /// Dense `nb × nb` bump block, row-major, LU-decomposed in place.
+    bump: Vec<f64>,
+    /// Bump dimension.
+    nb: usize,
+    /// Partial-pivoting row swaps for the bump LU.
+    ipiv: Vec<usize>,
+    /// Product-form updates since factorization, oldest first.
+    etas: Vec<Eta>,
+}
+
+impl BasisFactorization {
+    /// Factorizes the basis whose column in slot `s` is the sparse
+    /// vector `cols[s]` (row index, value — rows need not be sorted).
+    /// Returns `None` when the basis is numerically singular.
+    pub fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Option<Self> {
+        debug_assert_eq!(cols.len(), m);
+        let mut row_active = vec![true; m];
+        let mut col_active = vec![true; m];
+        // How many entries each column has in still-active rows.
+        let mut count: Vec<usize> = cols.iter().map(Vec::len).collect();
+        // Which columns touch each row, for count maintenance.
+        let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (s, col) in cols.iter().enumerate() {
+            for &(r, _) in col {
+                debug_assert!(r < m);
+                row_cols[r].push(s);
+            }
+        }
+        // Seed the singleton queue in slot order for determinism.
+        let mut queue: Vec<usize> = (0..m).filter(|&s| count[s] == 1).collect();
+        let mut pivots: Vec<(usize, usize)> = Vec::new(); // (slot, row)
+        while let Some(s) = queue.pop() {
+            if !col_active[s] || count[s] != 1 {
+                continue;
+            }
+            let Some(&(r, v)) = cols[s].iter().find(|&&(r, _)| row_active[r]) else {
+                continue;
+            };
+            if v.abs() <= SINGULAR_EPS {
+                // Too small to pivot on; leave this column for the bump,
+                // where partial pivoting can judge it. It cannot re-enter
+                // the queue (pushes happen only on a transition to 1).
+                continue;
+            }
+            pivots.push((s, r));
+            col_active[s] = false;
+            row_active[r] = false;
+            for &s2 in &row_cols[r] {
+                if col_active[s2] {
+                    count[s2] -= 1;
+                    if count[s2] == 1 {
+                        queue.push(s2);
+                    }
+                }
+            }
+        }
+
+        let t = pivots.len();
+        let mut row_of = Vec::with_capacity(m);
+        let mut col_of = Vec::with_capacity(m);
+        for &(s, r) in &pivots {
+            col_of.push(s);
+            row_of.push(r);
+        }
+        // Remaining rows/columns become the bump, in index order.
+        for (r, &active) in row_active.iter().enumerate() {
+            if active {
+                row_of.push(r);
+            }
+        }
+        for (s, &active) in col_active.iter().enumerate() {
+            if active {
+                col_of.push(s);
+            }
+        }
+        debug_assert_eq!(row_of.len(), m);
+        debug_assert_eq!(col_of.len(), m);
+        let nb = m - t;
+        let mut row_pos = vec![0usize; m];
+        for (k, &r) in row_of.iter().enumerate() {
+            row_pos[r] = k;
+        }
+
+        // Triangular columns: by construction every non-pivot entry of
+        // column `col_of[k]` (k < t) lies in a row pivoted earlier.
+        let mut tri = Vec::with_capacity(t);
+        for (k, &(s, r)) in pivots.iter().enumerate() {
+            let mut diag = 0.0;
+            let mut above = Vec::new();
+            for &(row, v) in &cols[s] {
+                if row == r {
+                    diag = v;
+                } else {
+                    let p = row_pos[row];
+                    debug_assert!(p < k, "triangularization produced fill below the diagonal");
+                    above.push((p, v));
+                }
+            }
+            tri.push(TriCol { diag, above });
+        }
+
+        // Bump columns: split entries into the triangular coupling block
+        // (U12) and the dense bump itself.
+        let mut u12 = vec![Vec::new(); nb];
+        let mut bump = vec![0.0; nb * nb];
+        for k in t..m {
+            let s = col_of[k];
+            for &(row, v) in &cols[s] {
+                let p = row_pos[row];
+                if p < t {
+                    u12[k - t].push((p, v));
+                } else {
+                    bump[(p - t) * nb + (k - t)] = v;
+                }
+            }
+        }
+
+        // Dense partial-pivoting LU on the bump, in place.
+        let mut ipiv = vec![0usize; nb];
+        for k in 0..nb {
+            let mut best = k;
+            let mut best_abs = bump[k * nb + k].abs();
+            for i in k + 1..nb {
+                let a = bump[i * nb + k].abs();
+                if a > best_abs {
+                    best = i;
+                    best_abs = a;
+                }
+            }
+            if best_abs <= SINGULAR_EPS {
+                return None;
+            }
+            ipiv[k] = best;
+            if best != k {
+                for j in 0..nb {
+                    bump.swap(k * nb + j, best * nb + j);
+                }
+            }
+            let pivot = bump[k * nb + k];
+            for i in k + 1..nb {
+                let l = bump[i * nb + k] / pivot;
+                bump[i * nb + k] = l;
+                if l != 0.0 {
+                    for j in k + 1..nb {
+                        bump[i * nb + j] -= l * bump[k * nb + j];
+                    }
+                }
+            }
+        }
+
+        Some(Self {
+            m,
+            t,
+            row_of,
+            col_of,
+            tri,
+            u12,
+            bump,
+            nb,
+            ipiv,
+            etas: Vec::new(),
+        })
+    }
+
+    /// Basis dimension.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Size of the dense bump block (diagnostic: 0 means the basis was
+    /// fully triangularized).
+    pub fn bump_dim(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of eta updates absorbed since the last factorization.
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Solves `B·z = b`. On input `x` is row-indexed (`b`); on output it
+    /// is slot-indexed (`z`, the basic components).
+    pub fn ftran(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.m);
+        self.solve_base(x);
+        for eta in &self.etas {
+            let zr = x[eta.slot] / eta.diag;
+            if zr != 0.0 {
+                for &(i, v) in &eta.vals {
+                    x[i] -= v * zr;
+                }
+            }
+            x[eta.slot] = zr;
+        }
+    }
+
+    /// Solves `Bᵀ·y = c`. On input `x` is slot-indexed (`c_B`); on
+    /// output it is row-indexed (`y`, the dual values).
+    pub fn btran(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.m);
+        for eta in self.etas.iter().rev() {
+            let mut acc = x[eta.slot];
+            for &(i, v) in &eta.vals {
+                acc -= x[i] * v;
+            }
+            x[eta.slot] = acc / eta.diag;
+        }
+        self.solve_base_transpose(x);
+    }
+
+    /// Records a basis change: slot `slot`'s column was replaced by a
+    /// column whose FTRAN image is the slot-indexed dense vector `w`.
+    /// Returns `false` (and records nothing) when the pivot `w[slot]`
+    /// is too small — the caller must refactorize instead.
+    #[must_use]
+    pub fn push_eta(&mut self, slot: usize, w: &[f64]) -> bool {
+        debug_assert_eq!(w.len(), self.m);
+        let diag = w[slot];
+        if diag.abs() <= SINGULAR_EPS {
+            return false;
+        }
+        let vals: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != slot && v.abs() > ETA_DROP_EPS)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { slot, vals, diag });
+        true
+    }
+
+    /// `B₀·z = b` (no etas): permute, solve the bump, back-substitute
+    /// the triangular block.
+    // Index loops mirror the textbook LU recurrences over the row-major
+    // `bump` (stride arithmetic an iterator form would bury).
+    #[allow(clippy::needless_range_loop)]
+    fn solve_base(&self, x: &mut [f64]) {
+        let m = self.m;
+        let (t, nb) = (self.t, self.nb);
+        let mut p = vec![0.0; m];
+        for (k, &r) in self.row_of.iter().enumerate() {
+            p[k] = x[r];
+        }
+        // Bump block: L·U·z₂ = p₂ with partial-pivot swaps.
+        if nb > 0 {
+            let z2 = &mut p[t..];
+            for k in 0..nb {
+                z2.swap(k, self.ipiv[k]);
+            }
+            for k in 0..nb {
+                let zk = z2[k];
+                if zk != 0.0 {
+                    for i in k + 1..nb {
+                        z2[i] -= self.bump[i * nb + k] * zk;
+                    }
+                }
+            }
+            for k in (0..nb).rev() {
+                let mut acc = z2[k];
+                for j in k + 1..nb {
+                    acc -= self.bump[k * nb + j] * z2[j];
+                }
+                z2[k] = acc / self.bump[k * nb + k];
+            }
+            // Substitute the coupling block U12·z₂ out of the
+            // triangular right-hand side.
+            for (j, col) in self.u12.iter().enumerate() {
+                let zj = p[t + j];
+                if zj != 0.0 {
+                    for &(i, v) in col {
+                        p[i] -= v * zj;
+                    }
+                }
+            }
+        }
+        // Triangular back-substitution (positions t-1 .. 0).
+        for k in (0..t).rev() {
+            let zk = p[k] / self.tri[k].diag;
+            p[k] = zk;
+            if zk != 0.0 {
+                for &(i, v) in &self.tri[k].above {
+                    p[i] -= v * zk;
+                }
+            }
+        }
+        // Emit by slot.
+        for (k, &s) in self.col_of.iter().enumerate() {
+            x[s] = p[k];
+        }
+    }
+
+    /// `B₀ᵀ·y = c` (no etas): permute by slot, forward-solve U11ᵀ,
+    /// solve the bump transpose, emit by row.
+    #[allow(clippy::needless_range_loop)] // see solve_base
+    fn solve_base_transpose(&self, x: &mut [f64]) {
+        let m = self.m;
+        let (t, nb) = (self.t, self.nb);
+        let mut p = vec![0.0; m];
+        for (k, &s) in self.col_of.iter().enumerate() {
+            p[k] = x[s];
+        }
+        // U11ᵀ is lower triangular: forward substitution.
+        for k in 0..t {
+            let mut acc = p[k];
+            for &(i, v) in &self.tri[k].above {
+                acc -= v * p[i];
+            }
+            p[k] = acc / self.tri[k].diag;
+        }
+        if nb > 0 {
+            // Couple the solved triangular part into the bump RHS.
+            for (j, col) in self.u12.iter().enumerate() {
+                let mut acc = p[t + j];
+                for &(i, v) in col {
+                    acc -= v * p[i];
+                }
+                p[t + j] = acc;
+            }
+            // (L·U)ᵀ·y₂ = rhs₂: solve Uᵀ (forward), then Lᵀ (backward),
+            // then undo the row swaps in reverse.
+            let y2 = &mut p[t..];
+            for k in 0..nb {
+                let mut acc = y2[k];
+                for i in 0..k {
+                    acc -= self.bump[i * nb + k] * y2[i];
+                }
+                y2[k] = acc / self.bump[k * nb + k];
+            }
+            for k in (0..nb).rev() {
+                let mut acc = y2[k];
+                for i in k + 1..nb {
+                    acc -= self.bump[i * nb + k] * y2[i];
+                }
+                y2[k] = acc;
+            }
+            for k in (0..nb).rev() {
+                y2.swap(k, self.ipiv[k]);
+            }
+        }
+        for (k, &r) in self.row_of.iter().enumerate() {
+            x[r] = p[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for reproducible random matrices.
+    struct Rng(u64);
+    impl Rng {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn dense_mul(m: usize, cols: &[Vec<(usize, f64)>], x_by_slot: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m];
+        for (s, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                out[r] += v * x_by_slot[s];
+            }
+        }
+        out
+    }
+
+    fn dense_mul_t(m: usize, cols: &[Vec<(usize, f64)>], y_by_row: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|s| cols[s].iter().map(|&(r, v)| v * y_by_row[r]).sum())
+            .collect()
+    }
+
+    fn check_roundtrip(m: usize, cols: &[Vec<(usize, f64)>]) {
+        let f = BasisFactorization::factor(m, cols).expect("nonsingular");
+        let mut rng = Rng(42);
+        let z_true: Vec<f64> = (0..m).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+        // FTRAN: b = B z  ⇒  ftran(b) == z.
+        let mut b = dense_mul(m, cols, &z_true);
+        f.ftran(&mut b);
+        for (a, e) in b.iter().zip(&z_true) {
+            assert!((a - e).abs() < 1e-9, "ftran mismatch: {a} vs {e}");
+        }
+        // BTRAN: c = Bᵀ y  ⇒  btran(c) == y.
+        let y_true: Vec<f64> = (0..m).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+        let mut c = dense_mul_t(m, cols, &y_true);
+        f.btran(&mut c);
+        for (a, e) in c.iter().zip(&y_true) {
+            assert!((a - e).abs() < 1e-9, "btran mismatch: {a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn identity_and_permutation() {
+        check_roundtrip(
+            4,
+            &[
+                vec![(0, 1.0)],
+                vec![(1, 1.0)],
+                vec![(2, 1.0)],
+                vec![(3, 1.0)],
+            ],
+        );
+        check_roundtrip(3, &[vec![(2, 1.0)], vec![(0, -1.0)], vec![(1, 2.0)]]);
+    }
+
+    #[test]
+    fn slack_heavy_basis_has_no_bump() {
+        // 5 unit columns and one structural column: fully triangular.
+        let cols = vec![
+            vec![(0, 1.0)],
+            vec![(1, 1.0)],
+            vec![(2, 2.0), (0, 1.0), (4, -1.0)],
+            vec![(3, 1.0)],
+            vec![(4, 1.0)],
+        ];
+        let f = BasisFactorization::factor(5, &cols).expect("nonsingular");
+        assert_eq!(f.bump_dim(), 0);
+        check_roundtrip(5, &cols);
+    }
+
+    #[test]
+    fn dense_random_basis_roundtrips() {
+        let mut rng = Rng(7);
+        for trial in 0..20 {
+            let m = 2 + (trial % 7);
+            let cols: Vec<Vec<(usize, f64)>> = (0..m)
+                .map(|s| {
+                    (0..m)
+                        .filter_map(|r| {
+                            let v = rng.next_f64() * 2.0 - 1.0;
+                            // Diagonal dominance keeps it honestly nonsingular.
+                            let v = if r == s { v + 3.0 } else { v };
+                            (v.abs() > 0.3 || r == s).then_some((r, v))
+                        })
+                        .collect()
+                })
+                .collect();
+            check_roundtrip(m, &cols);
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        // Two identical columns.
+        let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]];
+        assert!(BasisFactorization::factor(2, &cols).is_none());
+    }
+
+    #[test]
+    fn zero_dimensional_basis() {
+        let f = BasisFactorization::factor(0, &[]).expect("empty basis is trivially factored");
+        assert_eq!(f.dim(), 0);
+        f.ftran(&mut []);
+        f.btran(&mut []);
+    }
+
+    #[test]
+    fn eta_updates_match_refactorization() {
+        // Start from a basis, replace a column via push_eta, and verify
+        // solves match a from-scratch factorization of the new basis.
+        let mut cols = vec![
+            vec![(0, 1.0)],
+            vec![(1, 2.0), (0, 1.0)],
+            vec![(2, 1.0), (1, -1.0)],
+        ];
+        let mut f = BasisFactorization::factor(3, &cols).expect("nonsingular");
+        // New column to put in slot 1.
+        let newcol = vec![(0, 0.5), (1, 1.0), (2, 2.0)];
+        let mut w = vec![0.0; 3];
+        for &(r, v) in &newcol {
+            w[r] = v;
+        }
+        f.ftran(&mut w);
+        assert!(f.push_eta(1, &w));
+        assert_eq!(f.eta_count(), 1);
+        cols[1] = newcol;
+        let fresh = BasisFactorization::factor(3, &cols).expect("nonsingular");
+        let mut rng = Rng(99);
+        for _ in 0..5 {
+            let b: Vec<f64> = (0..3).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+            let (mut z1, mut z2) = (b.clone(), b.clone());
+            f.ftran(&mut z1);
+            fresh.ftran(&mut z2);
+            for (a, e) in z1.iter().zip(&z2) {
+                assert!((a - e).abs() < 1e-9, "eta ftran mismatch: {a} vs {e}");
+            }
+            let (mut y1, mut y2) = (b.clone(), b);
+            f.btran(&mut y1);
+            fresh.btran(&mut y2);
+            for (a, e) in y1.iter().zip(&y2) {
+                assert!((a - e).abs() < 1e-9, "eta btran mismatch: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_eta_pivot_is_refused() {
+        let mut f =
+            BasisFactorization::factor(2, &[vec![(0, 1.0)], vec![(1, 1.0)]]).expect("identity");
+        let w = vec![1.0, 1e-13];
+        assert!(!f.push_eta(1, &w));
+        assert_eq!(f.eta_count(), 0);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::error::SolveError;
 use crate::model::{Model, Sense, VarId};
+use crate::revised::{BasisState, RevisedEngine, RevisedError, RevisedOptions, RevisedStats};
 use crate::simplex::LpSolver;
 use crate::solution::{MipStats, Solution, SolveTrace, Status};
 use crate::INT_TOL;
@@ -64,6 +65,23 @@ pub struct MipSolver {
     /// implied by the model, so the optimum is unchanged — the search
     /// just starts from a tighter box. Default `true`.
     pub root_propagation: bool,
+    /// Solve node relaxations with the sparse revised simplex
+    /// ([`crate::revised`]) when the model admits a dual-feasible cold
+    /// start; `false` forces the dense two-phase solver everywhere
+    /// (the differential oracle). Models the revised engine cannot
+    /// start (e.g. free variables) fall back to dense automatically.
+    pub revised: bool,
+    /// Warm-start each child node's dual simplex from its parent's
+    /// optimal basis instead of a cold all-slack basis. Defaults to the
+    /// `BILLCAP_WARMSTART` gate: on unless the variable is set to `0`.
+    pub warm_start: bool,
+}
+
+/// The `BILLCAP_WARMSTART` gate: warm starts are on by default and
+/// disabled only by an explicit `0` (the cold path then serves as a
+/// differential oracle in CI).
+fn warmstart_env() -> bool {
+    !matches!(std::env::var("BILLCAP_WARMSTART"), Ok(v) if v == "0")
 }
 
 impl Default for MipSolver {
@@ -77,6 +95,8 @@ impl Default for MipSolver {
             gap_tol: 1e-9,
             threads: 1,
             root_propagation: true,
+            revised: true,
+            warm_start: warmstart_env(),
         }
     }
 }
@@ -89,6 +109,9 @@ struct Node {
     /// Relaxation bound inherited from the parent, in minimization space.
     bound: f64,
     depth: usize,
+    /// The parent's optimal basis, for warm-starting this node's dual
+    /// simplex. `None` at the root or when the parent solved densely.
+    basis: Option<BasisState>,
 }
 
 impl PartialEq for Node {
@@ -148,6 +171,132 @@ impl Frontier {
     }
 }
 
+/// A node relaxation result, engine-agnostic.
+struct NodeSol {
+    values: Vec<f64>,
+    /// Objective in the model's sense.
+    objective: f64,
+    /// Simplex pivots spent on this node (all attempts).
+    iterations: usize,
+    /// Degenerate pivots among them.
+    degenerate: usize,
+    /// Optimal basis for warm-starting children (`None` from the dense
+    /// fallback — children of a dense node cold-start).
+    basis: Option<BasisState>,
+}
+
+/// Per-search LP backend: the sparse revised simplex with warm starts,
+/// falling back to the dense two-phase solver per node on numerical
+/// trouble or iteration limits, or for the whole search when the model
+/// admits no dual-feasible cold start.
+///
+/// The fallback chain per node is `warm → cold → dense`; every rung is
+/// a complete, independent solve of the same relaxation, so a fallback
+/// costs time but never changes the answer.
+struct NodeLp<'a> {
+    solver: &'a MipSolver,
+    engine: Option<RevisedEngine>,
+    /// Dense-fallback clone whose bounds are overwritten per node.
+    work: Model,
+}
+
+impl<'a> NodeLp<'a> {
+    /// Builds the backend. Revised-startability is decided once, here,
+    /// with the root bounds: children only tighten bounds, which can
+    /// never turn a startable model unstartable.
+    fn new(solver: &'a MipSolver, model: &Model, root_bounds: &[(f64, f64)]) -> Self {
+        let engine = if solver.revised {
+            let mut e = RevisedEngine::new(model, RevisedOptions::default());
+            e.set_var_bounds(root_bounds);
+            e.cold_startable().then_some(e)
+        } else {
+            None
+        };
+        Self {
+            solver,
+            engine,
+            work: model.clone(),
+        }
+    }
+
+    /// Folds a revised solve's work counters into the search trace
+    /// (pivot counts travel separately, through [`NodeSol`], matching
+    /// how the dense path accounts for them).
+    fn absorb(trace: &mut SolveTrace, stats: &RevisedStats) {
+        trace.factorizations += stats.factorizations;
+        trace.refactorizations += stats.refactorizations;
+        trace.bound_flips += stats.bound_flips;
+    }
+
+    /// Solves one node relaxation under `bounds`, warm-starting from
+    /// `basis` when enabled and available.
+    fn solve(
+        &mut self,
+        model: &Model,
+        bounds: &[(f64, f64)],
+        basis: Option<&BasisState>,
+        trace: &mut SolveTrace,
+    ) -> Result<NodeSol, SolveError> {
+        let mut iterations = 0usize;
+        let mut degenerate = 0usize;
+        if let Some(engine) = &mut self.engine {
+            engine.set_var_bounds(bounds);
+            let warm = if self.solver.warm_start { basis } else { None };
+            let mut result = engine.solve(warm);
+            if warm.is_some() {
+                match &result {
+                    Ok(_) | Err(RevisedError::Infeasible { .. }) => trace.warm_starts += 1,
+                    Err(RevisedError::Numerical { stats }) => {
+                        // The inherited basis went bad numerically; a
+                        // cold start is cheaper than the dense fallback.
+                        Self::absorb(trace, stats);
+                        iterations += stats.iterations;
+                        degenerate += stats.degenerate;
+                        result = engine.solve(None);
+                    }
+                    Err(RevisedError::IterationLimit { .. }) => {}
+                }
+            }
+            match result {
+                Ok(sol) => {
+                    Self::absorb(trace, &sol.stats);
+                    return Ok(NodeSol {
+                        objective: model.eval_objective(&sol.values),
+                        values: sol.values,
+                        iterations: iterations + sol.stats.iterations,
+                        degenerate: degenerate + sol.stats.degenerate,
+                        basis: Some(sol.basis),
+                    });
+                }
+                Err(RevisedError::Infeasible { stats }) => {
+                    Self::absorb(trace, &stats);
+                    return Err(SolveError::Infeasible);
+                }
+                Err(e) => {
+                    // Iteration limit or persistent numerical trouble:
+                    // re-solve this node densely. Correctness is the
+                    // dense solver's; only the wasted pivots remain.
+                    let stats = e.stats();
+                    Self::absorb(trace, &stats);
+                    iterations += stats.iterations;
+                    degenerate += stats.degenerate;
+                }
+            }
+        }
+        for (i, &(lb, ub)) in bounds.iter().enumerate() {
+            self.work.set_var_bounds(VarId(i), lb, ub);
+        }
+        let s = self.solver.lp.solve(&self.work)?;
+        Ok(NodeSol {
+            values: s.values,
+            objective: s.objective,
+            iterations: iterations + s.iterations,
+            degenerate: degenerate + s.degenerate,
+            basis: None,
+        })
+    }
+}
+
 impl MipSolver {
     /// A solver using every available worker (see
     /// [`billcap_rt::num_threads`]); otherwise identical to the default.
@@ -173,7 +322,7 @@ impl MipSolver {
         model.validate()?;
         let int_vars = model.integer_vars();
         if int_vars.is_empty() {
-            let mut sol = self.lp.solve(model)?;
+            let mut sol = self.solve_pure_lp(model)?;
             sol.mip = Some(MipStats {
                 nodes: 1,
                 lp_iterations: sol.iterations,
@@ -195,8 +344,7 @@ impl MipSolver {
         };
 
         // Root bounds, with integer bounds pre-rounded inward.
-        let mut root_bounds: Vec<(f64, f64)> =
-            model.variables().iter().map(|v| (v.lb, v.ub)).collect();
+        let mut root_bounds = model.var_bounds();
         for &v in &int_vars {
             let (lb, ub) = root_bounds[v.index()];
             let lb = if lb.is_finite() {
@@ -235,7 +383,7 @@ impl MipSolver {
             return parallel::solve(self, model, &int_vars, sign, root_bounds, threads);
         }
 
-        let mut work = model.clone();
+        let mut node_lp = NodeLp::new(self, model, &root_bounds);
         let mut frontier = match self.node_selection {
             NodeSelection::BestBound => Frontier::Heap(BinaryHeap::new()),
             NodeSelection::DepthFirst => Frontier::Stack(Vec::new()),
@@ -244,6 +392,7 @@ impl MipSolver {
             bounds: root_bounds,
             bound: f64::NEG_INFINITY,
             depth: 0,
+            basis: None,
         });
 
         let mut incumbent: Option<Solution> = None;
@@ -272,10 +421,7 @@ impl MipSolver {
             nodes += 1;
             trace.max_depth = trace.max_depth.max(node.depth);
 
-            for (i, &(lb, ub)) in node.bounds.iter().enumerate() {
-                work.set_var_bounds(VarId(i), lb, ub);
-            }
-            let lp_sol = match self.lp.solve(&work) {
+            let lp_sol = match node_lp.solve(model, &node.bounds, node.basis.as_ref(), &mut trace) {
                 Ok(s) => s,
                 Err(SolveError::Infeasible) => {
                     trace.pruned_infeasible += 1;
@@ -335,6 +481,7 @@ impl MipSolver {
                             bounds: b,
                             bound: node_key,
                             depth: node.depth + 1,
+                            basis: lp_sol.basis.clone(),
                         });
                     }
                     if up_lb <= ub + self.int_tol {
@@ -344,6 +491,7 @@ impl MipSolver {
                             bounds: b,
                             bound: node_key,
                             depth: node.depth + 1,
+                            basis: lp_sol.basis,
                         });
                     }
                 }
@@ -391,6 +539,35 @@ impl MipSolver {
             }
             None => Err(SolveError::Infeasible),
         }
+    }
+
+    /// A pure-LP solve (no integer variables): the revised simplex when
+    /// the model is cold-startable, the dense two-phase solver otherwise
+    /// — both return audited duals.
+    fn solve_pure_lp(&self, model: &Model) -> Result<Solution, SolveError> {
+        if self.revised {
+            let engine = RevisedEngine::new(model, RevisedOptions::default());
+            if engine.cold_startable() {
+                match engine.solve(None) {
+                    Ok(r) => {
+                        return Ok(Solution {
+                            status: Status::Optimal,
+                            objective: model.eval_objective(&r.values),
+                            values: r.values,
+                            iterations: r.stats.iterations,
+                            degenerate: r.stats.degenerate,
+                            mip: None,
+                            duals: Some(r.duals),
+                        })
+                    }
+                    Err(RevisedError::Infeasible { .. }) => return Err(SolveError::Infeasible),
+                    // Numerical trouble or an iteration limit: the dense
+                    // solve below is the authoritative answer.
+                    Err(_) => {}
+                }
+            }
+        }
+        self.lp.solve(model)
     }
 
     /// Absolute slack used when pruning against the incumbent.
@@ -477,6 +654,13 @@ pub(crate) fn record_obs(stats: &MipStats) {
         "milp.lp.degenerate_pivots",
         stats.trace.degenerate_pivots as u64,
     );
+    billcap_obs::counter("milp.lp.factorizations", stats.trace.factorizations as u64);
+    billcap_obs::counter(
+        "milp.lp.refactorizations",
+        stats.trace.refactorizations as u64,
+    );
+    billcap_obs::counter("milp.lp.bound_flips", stats.trace.bound_flips as u64);
+    billcap_obs::counter("milp.lp.warm_starts", stats.trace.warm_starts as u64);
 }
 
 /// Completes a solve's `mip` span: attaches the headline counters as

@@ -98,6 +98,8 @@ struct Shared<'a> {
     model: &'a Model,
     int_vars: &'a [VarId],
     sign: f64,
+    /// Root bound box, for each worker's revised-startability check.
+    root_bounds: Vec<(f64, f64)>,
     frontier: Mutex<Frontier>,
     work_ready: Condvar,
     /// [`key_bits`] of the incumbent key; monotonically decreasing.
@@ -122,15 +124,17 @@ pub(super) fn solve(
 ) -> Result<Solution, SolveError> {
     let mut heap = BinaryHeap::new();
     heap.push(Node {
-        bounds: root_bounds,
+        bounds: root_bounds.clone(),
         bound: f64::NEG_INFINITY,
         depth: 0,
+        basis: None,
     });
     let shared = Shared {
         solver,
         model,
         int_vars,
         sign,
+        root_bounds,
         frontier: Mutex::new(Frontier {
             heap,
             in_flight: vec![f64::INFINITY; threads],
@@ -236,7 +240,9 @@ impl Shared<'_> {
     }
 
     fn worker_loop(&self, w: usize, trace: &mut SolveTrace) {
-        let mut work = self.model.clone();
+        // Worker-local LP backend (revised engine + dense-fallback model
+        // clone), so node solves never contend.
+        let mut node_lp = super::NodeLp::new(self.solver, self.model, &self.root_bounds);
         let obs_on = billcap_obs::enabled();
         loop {
             let (node, depth_seen) = {
@@ -293,10 +299,7 @@ impl Shared<'_> {
                 continue;
             }
 
-            for (i, &(lb, ub)) in node.bounds.iter().enumerate() {
-                work.set_var_bounds(VarId(i), lb, ub);
-            }
-            let lp_sol = match self.solver.lp.solve(&work) {
+            let lp_sol = match node_lp.solve(self.model, &node.bounds, node.basis.as_ref(), trace) {
                 Ok(s) => s,
                 Err(SolveError::Infeasible) => {
                     trace.pruned_infeasible += 1;
@@ -352,6 +355,7 @@ impl Shared<'_> {
                             bounds: b,
                             bound: node_key,
                             depth: node.depth + 1,
+                            basis: lp_sol.basis.clone(),
                         });
                     }
                     if up_lb <= ub + self.solver.int_tol {
@@ -361,6 +365,7 @@ impl Shared<'_> {
                             bounds: b,
                             bound: node_key,
                             depth: node.depth + 1,
+                            basis: lp_sol.basis,
                         });
                     }
                     let bound = self.complete(w, children);

@@ -682,6 +682,59 @@ mod tests {
     }
 
     #[test]
+    fn revised_lp_duals_certify() {
+        // A box-bounded version of the textbook LP so the revised engine's
+        // dual cold start exists; the duals must survive the full audit
+        // (signs, complementary slackness, strong duality) just like the
+        // dense solver's.
+        let mut m = Model::new("lp_boxed", Sense::Maximize);
+        let x = m.add_cont("x", 0.0, 100.0);
+        let y = m.add_cont("y", 0.0, 100.0);
+        m.add_constraint("c1", vec![(x, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint("c2", vec![(y, 2.0)], ConstraintOp::Le, 12.0);
+        m.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        m.set_objective(vec![(x, 3.0), (y, 5.0)], 0.0);
+        let engine =
+            crate::revised::RevisedEngine::new(&m, crate::revised::RevisedOptions::default());
+        assert!(engine.cold_startable());
+        let r = engine.solve(None).expect("boxed textbook LP solves");
+        let sol = crate::solution::Solution {
+            objective: m.eval_objective(&r.values),
+            values: r.values,
+            duals: Some(r.duals),
+            ..MipSolver {
+                revised: false,
+                ..MipSolver::default()
+            }
+            .solve(&m)
+            .expect("dense reference solves")
+        };
+        let report = certify_solution(&m, &sol);
+        assert!(
+            report.certified(),
+            "revised duals failed the audit: {report}"
+        );
+    }
+
+    #[test]
+    fn revised_mip_path_duals_certify() {
+        // End-to-end: a continuous model through MipSolver's pure-LP path
+        // rides the revised engine by default and must return duals that
+        // certify.
+        let mut m = Model::new("pure_lp", Sense::Minimize);
+        let x = m.add_cont("x", 0.0, 10.0);
+        let y = m.add_cont("y", 0.0, 10.0);
+        m.add_constraint("cover", vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0);
+        m.set_objective(vec![(x, 2.0), (y, 3.0)], 0.0);
+        let solver = MipSolver::default();
+        assert!(solver.revised, "revised engine is on by default");
+        let sol = solver.solve(&m).unwrap();
+        assert!(sol.duals.is_some(), "pure-LP path must surface duals");
+        let report = certify_solution(&m, &sol);
+        assert!(report.certified(), "{report}");
+    }
+
+    #[test]
     fn minimize_lp_duals_certify() {
         let mut m = Model::new("min", Sense::Minimize);
         let x = m.add_cont("x", 0.0, f64::INFINITY);

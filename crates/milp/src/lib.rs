@@ -11,15 +11,22 @@
 //!
 //! * [`Model`] — a named-variable model builder with bounds, integrality,
 //!   linear constraints and a linear objective.
+//! * [`revised`] — a sparse revised simplex over CSC storage
+//!   ([`sparse`]) and an LU-factorized basis ([`basis`]), with bounded
+//!   variables and a dual entry point that lets branch-and-bound
+//!   warm-start each child from its parent's basis.
 //! * [`simplex`] — a dense two-phase primal simplex solver with Dantzig
-//!   pricing and a Bland's-rule anti-cycling fallback.
+//!   pricing and a Bland's-rule anti-cycling fallback; the correctness
+//!   oracle and fallback for models the revised engine cannot start.
 //! * [`branch`] — a best-first branch-and-bound MILP solver on top of the
-//!   simplex relaxation.
+//!   simplex relaxations.
 //!
 //! The problem sizes produced by the bill-capping formulation are small
-//! (tens of variables, around fifteen binaries), so a dense tableau is the
-//! right tool: it is exact up to floating-point tolerance, simple to verify,
-//! and solves these instances in microseconds.
+//! (hundreds of rows at the reference scale), and the constraint matrices
+//! are sparse with box-bounded variables — exactly the shape the revised
+//! simplex exploits. Decisions stay bit-comparable across engines; set
+//! `BILLCAP_WARMSTART=0` to force cold starts as a differential oracle,
+//! or [`MipSolver::revised`]` = false` for the dense path everywhere.
 //!
 //! ## Example
 //!
@@ -41,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod basis;
 pub mod branch;
 pub mod certify;
 pub mod error;
@@ -50,9 +58,12 @@ pub mod lint;
 pub mod model;
 pub mod oracle;
 pub mod presolve;
+pub mod revised;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
 
+pub use basis::BasisFactorization;
 pub use branch::{BranchRule, MipSolver, NodeSelection};
 pub use certify::{
     certify_solution, certify_solution_with, CertifyOptions, CertifyReport, Violation,
@@ -63,9 +74,16 @@ pub use io::{parse_lp, write_lp};
 pub use lint::{lint_model, Finding, LintReport, ModelStats, Severity};
 pub use model::{Constraint, ConstraintOp, Model, Sense, VarId, VarType, Variable};
 pub use oracle::{brute_force_solve, brute_force_solve_capped};
-pub use presolve::{presolve, propagate_bounds, PresolveResult, Propagation};
+pub use presolve::{
+    presolve, propagate_bounds, propagate_bounds_with, PresolveResult, Propagation,
+};
+pub use revised::{
+    BasisState, ColStatus, RevisedEngine, RevisedError, RevisedOptions, RevisedSolution,
+    RevisedStats,
+};
 pub use simplex::{LpSolver, Pricing};
 pub use solution::{MipStats, Solution, SolveTrace, Status};
+pub use sparse::CscMat;
 
 /// Default feasibility / optimality tolerance used throughout the solver.
 pub const TOL: f64 = 1e-9;

@@ -221,6 +221,15 @@ impl Model {
         self.constraints.len()
     }
 
+    /// The `(lb, ub)` box of every variable, indexed like
+    /// [`Model::variables`]. This is the per-node state branch-and-bound
+    /// carries and the revised engine's [`set_var_bounds`] input shape.
+    ///
+    /// [`set_var_bounds`]: crate::revised::RevisedEngine::set_var_bounds
+    pub fn var_bounds(&self) -> Vec<(f64, f64)> {
+        self.variables.iter().map(|v| (v.lb, v.ub)).collect()
+    }
+
     /// Indices of integer/binary variables.
     pub fn integer_vars(&self) -> Vec<VarId> {
         self.variables

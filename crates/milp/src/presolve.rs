@@ -203,9 +203,23 @@ fn propagate_pass(
 /// Returns [`SolveError::Infeasible`] when propagation empties a
 /// variable's domain: a proof of infeasibility with zero simplex work.
 pub fn propagate_bounds(model: &Model) -> Result<Propagation, SolveError> {
+    propagate_bounds_with(model, &model.var_bounds())
+}
+
+/// [`propagate_bounds`] from an explicit starting box instead of the
+/// model's declared bounds. `bounds` must be at least as tight as the
+/// declared bounds (a branch-and-bound node's box always is); the
+/// returned bounds are implied by `bounds` plus the constraints, so a
+/// node may substitute them for its own box without changing the set of
+/// integer-feasible completions.
+pub fn propagate_bounds_with(
+    model: &Model,
+    bounds: &[(f64, f64)],
+) -> Result<Propagation, SolveError> {
     model.validate()?;
-    let mut lb: Vec<f64> = model.variables().iter().map(|v| v.lb).collect();
-    let mut ub: Vec<f64> = model.variables().iter().map(|v| v.ub).collect();
+    debug_assert_eq!(bounds.len(), model.num_vars());
+    let mut lb: Vec<f64> = bounds.iter().map(|&(l, _)| l).collect();
+    let mut ub: Vec<f64> = bounds.iter().map(|&(_, u)| u).collect();
     let is_int: Vec<bool> = model
         .variables()
         .iter()
@@ -516,6 +530,30 @@ mod tests {
         m.add_constraint("c", vec![(x, 1.0)], ConstraintOp::Ge, 5.0);
         m.set_objective(vec![(x, 1.0)], 0.0);
         assert_eq!(presolve(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn propagate_with_tighter_box_sees_node_bounds() {
+        // x + y <= 6 with the model box [0, 10]^2: the declared bounds
+        // propagate to x, y <= 6, but a node that already branched y >= 4
+        // implies x <= 2 — visible only through the explicit-box entry
+        // point.
+        let mut m = Model::new("node", Sense::Maximize);
+        let x = m.add_cont("x", 0.0, 10.0);
+        let y = m.add_cont("y", 0.0, 10.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 6.0);
+        m.set_objective(vec![(x, 1.0), (y, 1.0)], 0.0);
+        let close = |got: (f64, f64), want: (f64, f64)| {
+            assert!(
+                (got.0 - want.0).abs() < 1e-5 && (got.1 - want.1).abs() < 1e-5,
+                "{got:?} != {want:?}"
+            );
+        };
+        let root = propagate_bounds(&m).unwrap();
+        close(root.bounds[x.index()], (0.0, 6.0));
+        let node = propagate_bounds_with(&m, &[(0.0, 10.0), (4.0, 10.0)]).unwrap();
+        close(node.bounds[x.index()], (0.0, 2.0));
+        close(node.bounds[y.index()], (4.0, 6.0));
     }
 
     #[test]

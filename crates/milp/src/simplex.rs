@@ -43,6 +43,13 @@ pub struct LpSolver {
     /// Iteration count after which Dantzig pricing permanently degrades to
     /// Bland's rule (anti-cycling safeguard).
     pub bland_after: usize,
+    /// Consecutive degenerate pivots (ratio-test step ~zero) after which
+    /// pricing permanently degrades to Bland's rule. Catches cycling long
+    /// before the `bland_after` total-iteration trigger fires: a cycle is
+    /// by definition an unbroken run of degenerate pivots, while healthy
+    /// solves rarely chain more than a handful. Mirrors the revised
+    /// engine's [`crate::revised::RevisedOptions::bland_after_degenerate`].
+    pub bland_after_degenerate: usize,
 }
 
 impl Default for LpSolver {
@@ -52,6 +59,7 @@ impl Default for LpSolver {
             max_iterations: 200_000,
             pricing: Pricing::Dantzig,
             bland_after: 20_000,
+            bland_after_degenerate: 64,
         }
     }
 }
@@ -422,13 +430,21 @@ impl LpSolver {
         degenerate: &mut usize,
     ) -> Result<(), SolveError> {
         let cols = t.cols;
+        // Anti-cycling: a run of `bland_after_degenerate` consecutive
+        // degenerate pivots flips pricing to Bland's rule for the rest of
+        // this phase (sticky — Bland guarantees termination, so once
+        // cycling is suspected there is no reason to switch back).
+        let mut consecutive_degenerate = 0usize;
+        let mut sticky_bland = false;
         loop {
             if *iterations >= self.max_iterations {
                 return Err(SolveError::IterationLimit {
                     iterations: *iterations,
                 });
             }
-            let bland = matches!(self.pricing, Pricing::Bland) || *iterations >= self.bland_after;
+            let bland = matches!(self.pricing, Pricing::Bland)
+                || sticky_bland
+                || *iterations >= self.bland_after;
             // Entering column. Artificials may enter only in phase 1.
             let limit = if phase1 { cols } else { t.art_start };
             let cost_row: &[f64] = if phase1 {
@@ -480,6 +496,12 @@ impl LpSolver {
             };
             if best_ratio <= self.tol {
                 *degenerate += 1;
+                consecutive_degenerate += 1;
+                if consecutive_degenerate >= self.bland_after_degenerate {
+                    sticky_bland = true;
+                }
+            } else {
+                consecutive_degenerate = 0;
             }
             t.pivot(r, c);
             *iterations += 1;

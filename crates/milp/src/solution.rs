@@ -39,6 +39,20 @@ pub struct SolveTrace {
     /// Total degenerate simplex pivots (ratio-test steps with ~zero step
     /// length) across all node relaxations.
     pub degenerate_pivots: usize,
+    /// Basis factorizations performed by the revised simplex (one per
+    /// node solve, plus any mid-solve refactorizations). Zero when the
+    /// dense fallback handled every node.
+    pub factorizations: usize,
+    /// Mid-solve refactorizations: the eta file hit the refactorization
+    /// interval, or a pivot looked numerically unstable.
+    pub refactorizations: usize,
+    /// Bound flips performed by the dual ratio test — nonbasic variables
+    /// hopped to their opposite bound without a basis change (the
+    /// long-step payoff of bounded-variable handling).
+    pub bound_flips: usize,
+    /// Node relaxations that started from the parent's basis instead of
+    /// a cold all-slack basis.
+    pub warm_starts: usize,
 }
 
 impl SolveTrace {
@@ -51,6 +65,10 @@ impl SolveTrace {
         self.max_depth = self.max_depth.max(other.max_depth);
         self.max_frontier = self.max_frontier.max(other.max_frontier);
         self.degenerate_pivots += other.degenerate_pivots;
+        self.factorizations += other.factorizations;
+        self.refactorizations += other.refactorizations;
+        self.bound_flips += other.bound_flips;
+        self.warm_starts += other.warm_starts;
     }
 }
 

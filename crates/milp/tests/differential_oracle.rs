@@ -182,6 +182,170 @@ fn pure_binary_instances_agree_with_oracle() {
     }
 }
 
+/// Draws a random box-bounded *continuous* LP: every variable has finite
+/// bounds, so the revised engine's dual cold start always exists and the
+/// dense-vs-revised comparison never silently falls back.
+fn random_lp(rng: &mut Xoshiro256pp, tag: usize) -> Model {
+    let sense = if rng.random::<bool>() {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
+    let mut m = Model::new(format!("lp_{tag}"), sense);
+    let n = rng.random_usize_in(2, 6);
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            let lb = rng.random_f64_in(-3.0, 0.0);
+            let ub = lb + rng.random_f64_in(0.5, 8.0);
+            m.add_cont(format!("x{j}"), lb, ub)
+        })
+        .collect();
+    let rows = rng.random_usize_in(1, 4);
+    for r in 0..rows {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.random::<f64>() < 0.8 {
+                terms.push((v, rng.random_i64_in(-4, 6) as f64));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let op = match rng.random_below(10) {
+            0..=6 => ConstraintOp::Le,
+            7..=8 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        let rhs = rng.random_i64_in(-2, 10) as f64;
+        m.add_constraint(format!("r{r}"), terms, op, rhs);
+    }
+    m.set_objective(
+        vars.iter()
+            .map(|&v| (v, rng.random_i64_in(-5, 7) as f64))
+            .collect(),
+        rng.random_i64_in(-3, 3) as f64,
+    );
+    m
+}
+
+/// Dense two-phase simplex vs sparse revised simplex on seeded continuous
+/// LPs: feasibility verdicts must coincide, objectives must agree within
+/// certificate tolerance, and both solutions (duals included) must pass
+/// the independent certificate checker.
+#[test]
+fn dense_and_revised_lps_agree_and_certify() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED);
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+    for tag in 0..CASES {
+        let m = random_lp(&mut rng, tag);
+        let dense = MipSolver {
+            revised: false,
+            ..MipSolver::default()
+        }
+        .solve(&m);
+        let revised = MipSolver {
+            revised: true,
+            ..MipSolver::default()
+        }
+        .solve(&m);
+        match (&dense, &revised) {
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => infeasible += 1,
+            (Ok(d), Ok(r)) => {
+                feasible += 1;
+                let tol = 1e-6 * (1.0 + d.objective.abs());
+                assert!(
+                    (d.objective - r.objective).abs() <= tol,
+                    "case {tag}: dense {} vs revised {}\n{m:?}",
+                    d.objective,
+                    r.objective
+                );
+                assert_certified(&m, d, "dense LP", tag);
+                assert_certified(&m, r, "revised LP", tag);
+                assert!(
+                    r.duals.is_some(),
+                    "case {tag}: revised LP solution carries no duals"
+                );
+            }
+            (d, r) => panic!(
+                "case {tag}: dense and revised disagree on feasibility: {d:?} vs {r:?}\n{m:?}"
+            ),
+        }
+    }
+    assert!(
+        feasible >= CASES / 2,
+        "only {feasible}/{CASES} LPs feasible"
+    );
+    assert!(infeasible > 0, "no infeasible LPs generated");
+}
+
+/// Warm-started vs cold-started vs dense branch-and-bound on seeded MILPs:
+/// the three configurations must agree on feasibility and (within
+/// certificate tolerance) on the optimal objective, and every incumbent
+/// must certify. This is the `BILLCAP_WARMSTART=0` oracle in unit form.
+#[test]
+fn warm_cold_and_dense_mips_agree_and_certify() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x30A7);
+    let mut feasible = 0usize;
+    for tag in 0..CASES {
+        let m = random_model(&mut rng, tag);
+        let warm = MipSolver {
+            revised: true,
+            warm_start: true,
+            threads: 1,
+            ..MipSolver::default()
+        }
+        .solve(&m);
+        let cold = MipSolver {
+            revised: true,
+            warm_start: false,
+            threads: 1,
+            ..MipSolver::default()
+        }
+        .solve(&m);
+        let dense = MipSolver {
+            revised: false,
+            threads: 1,
+            ..MipSolver::default()
+        }
+        .solve(&m);
+        match (&warm, &cold, &dense) {
+            (
+                Err(SolveError::Infeasible),
+                Err(SolveError::Infeasible),
+                Err(SolveError::Infeasible),
+            ) => {}
+            (Ok(w), Ok(c), Ok(d)) => {
+                feasible += 1;
+                let tol = 1e-6 * (1.0 + d.objective.abs());
+                assert!(
+                    (w.objective - d.objective).abs() <= tol,
+                    "case {tag}: warm {} vs dense {}\n{m:?}",
+                    w.objective,
+                    d.objective
+                );
+                assert!(
+                    (c.objective - d.objective).abs() <= tol,
+                    "case {tag}: cold {} vs dense {}\n{m:?}",
+                    c.objective,
+                    d.objective
+                );
+                assert_certified(&m, w, "warm-start", tag);
+                assert_certified(&m, c, "cold-start", tag);
+                assert_certified(&m, d, "dense", tag);
+            }
+            (w, c, d) => panic!(
+                "case {tag}: configurations disagree on feasibility: \
+                 warm {w:?} vs cold {c:?} vs dense {d:?}\n{m:?}"
+            ),
+        }
+    }
+    assert!(
+        feasible >= CASES / 2,
+        "only {feasible}/{CASES} instances feasible"
+    );
+}
+
 /// The certifier must reject what the solver never produced: a corrupted
 /// incumbent smuggled into an otherwise-genuine solution.
 #[test]
