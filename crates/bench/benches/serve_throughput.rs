@@ -1,0 +1,63 @@
+//! Decision-server throughput: per-decision strategy benches (cold
+//! model build vs. incremental reuse vs. warm bases vs. cache hits) and
+//! an end-to-end replay table — decisions/sec for a simulated week fired
+//! through the in-process server at 1 and 4 workers, the numbers the
+//! EXPERIMENTS.md "Decision server throughput" table quotes.
+
+use billcap_bench::serve_bench;
+use billcap_rt::Harness;
+use billcap_serve::{build_plan, run_replay, verify_replay, ReplayPlan, ServeConfig};
+use billcap_sim::Scenario;
+
+fn fast() -> bool {
+    std::env::var("BILLCAP_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// One end-to-end replay; returns decisions/sec. `label` names the row.
+fn replay_row(plan: &ReplayPlan, workers: usize, cache: bool, reuse_basis: bool, check: bool) {
+    let cfg = ServeConfig {
+        workers,
+        cache,
+        reuse_basis,
+        ..ServeConfig::default()
+    };
+    let outcome = run_replay(&cfg, plan).expect("replay runs");
+    assert_eq!(outcome.decisions.len(), plan.requests.len());
+    if check {
+        verify_replay(plan, &outcome).expect("bitwise-identical responses");
+    }
+    let mode = match (cache, reuse_basis) {
+        (false, false) => "incremental",
+        (true, false) => "incremental+cache",
+        (false, true) => "warm-basis",
+        (true, true) => "warm-basis+cache",
+    };
+    println!(
+        "  workers={workers:<2} {mode:<18} {:>9.1} decisions/sec{}",
+        outcome.decisions_per_sec(),
+        if check { "  (verified bitwise)" } else { "" }
+    );
+}
+
+fn replay_table() {
+    let hours = if fast() { 24 } else { 168 };
+    eprintln!("building {hours}-hour ground-truth plan ...");
+    let plan = build_plan(1, 42, hours, Some(Scenario::STRINGENT_BUDGET)).expect("plan builds");
+    println!("serve_replay/{hours}h (policy 1, seed 42, stringent budget):");
+    for workers in [1usize, 4] {
+        // Exact modes are verified bitwise against the sequential fresh
+        // decisions on every run; warm-basis trades that guarantee away.
+        replay_row(&plan, workers, false, false, true);
+        replay_row(&plan, workers, true, false, true);
+        replay_row(&plan, workers, false, true, false);
+    }
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    serve_bench::bench_decide_strategies(&mut h);
+    h.finish();
+    replay_table();
+}

@@ -134,6 +134,9 @@ fn run() -> Result<(), String> {
 
     let mut h = Harness::with_config(BenchConfig::default());
     bench_solvers(&mut h);
+    // The decision-server strategy benches (cold vs incremental vs warm
+    // vs cached) — the serve subsystem's perf claim lives in this file.
+    billcap_bench::serve_bench::bench_decide_strategies(&mut h);
     let benches: Vec<BenchPoint> = h
         .results()
         .iter()

@@ -46,6 +46,128 @@ pub mod helpers {
     }
 }
 
+/// The decision-server throughput benches, shared between the
+/// `serve_throughput` bench target and the `bench_trajectory` baseline
+/// generator (so `BENCH_solver.json` records the cold-vs-incremental
+/// ratio the serve subsystem's perf claim rests on).
+pub mod serve_bench {
+    use billcap_core::{BillCapper, CapperConfig, DecisionCache, DecisionEngine, DecisionKey};
+    use billcap_rt::Harness;
+    use std::hint::black_box;
+
+    /// A small cycle of hour inputs: varying offered load, premium
+    /// share, background demand (crossing step-price breakpoints so
+    /// level structure occasionally changes), and budget tightness
+    /// covering all three outcome branches.
+    pub fn hour_cycle() -> Vec<(f64, f64, Vec<f64>, f64)> {
+        (0..8)
+            .map(|h| {
+                let t = h as f64;
+                let offered = 4.5e8 + 3.0e7 * t;
+                let premium = 0.6 * offered;
+                let background = vec![330.0 + 8.0 * t, 410.0 + 2.0 * t, 280.0 + 15.0 * t];
+                let budget = match h % 3 {
+                    0 => f64::INFINITY,
+                    1 => 2_300.0,
+                    _ => 1.0,
+                };
+                (offered, premium, background, budget)
+            })
+            .collect()
+    }
+
+    /// Registers the decide-hour strategy benches: one full decision per
+    /// iteration, cycling through [`hour_cycle`].
+    ///
+    /// * `serve_decide/cold` — a fresh [`BillCapper`] model build per solve.
+    /// * `serve_decide/incremental` — a retained [`DecisionEngine`] in exact
+    ///   mode (bitwise-identical answers; value-only model mutation).
+    /// * `serve_decide/warm_basis` — the engine with root-basis reuse on.
+    /// * `serve_decide/cached` — repeat hours answered from a [`DecisionCache`].
+    pub fn bench_decide_strategies(h: &mut Harness) {
+        let system = super::helpers::paper_system();
+        let hours = hour_cycle();
+
+        let capper = BillCapper::default();
+        let mut i = 0usize;
+        let hours_cold = hours.clone();
+        let sys_cold = system.clone();
+        h.bench("serve_decide/cold", move || {
+            let (offered, premium, bg, budget) = &hours_cold[i % hours_cold.len()];
+            i += 1;
+            let d = capper
+                .decide_hour(
+                    black_box(&sys_cold),
+                    black_box(*offered),
+                    black_box(*premium),
+                    black_box(bg),
+                    black_box(*budget),
+                )
+                // repolint-allow(unwrap): bench inputs are feasible by construction
+                .expect("feasible hour");
+            black_box(d.allocation.total_cost)
+        });
+
+        let mut engine = DecisionEngine::new(system.clone(), CapperConfig::default());
+        let mut i = 0usize;
+        let hours_inc = hours.clone();
+        h.bench("serve_decide/incremental", move || {
+            let (offered, premium, bg, budget) = &hours_inc[i % hours_inc.len()];
+            i += 1;
+            let d = engine
+                .decide_hour(
+                    black_box(*offered),
+                    black_box(*premium),
+                    black_box(bg),
+                    black_box(*budget),
+                )
+                // repolint-allow(unwrap): bench inputs are feasible by construction
+                .expect("feasible hour");
+            black_box(d.allocation.total_cost)
+        });
+
+        let mut warm = DecisionEngine::new(system.clone(), CapperConfig::default());
+        warm.set_reuse_basis(true);
+        let mut i = 0usize;
+        let hours_warm = hours.clone();
+        h.bench("serve_decide/warm_basis", move || {
+            let (offered, premium, bg, budget) = &hours_warm[i % hours_warm.len()];
+            i += 1;
+            let d = warm
+                .decide_hour(
+                    black_box(*offered),
+                    black_box(*premium),
+                    black_box(bg),
+                    black_box(*budget),
+                )
+                // repolint-allow(unwrap): bench inputs are feasible by construction
+                .expect("feasible hour");
+            black_box(d.allocation.total_cost)
+        });
+
+        let mut cache = DecisionCache::new(64);
+        let mut engine = DecisionEngine::new(system.clone(), CapperConfig::default());
+        let mut i = 0usize;
+        h.bench("serve_decide/cached", move || {
+            let (offered, premium, bg, budget) = &hours[i % hours.len()];
+            i += 1;
+            let key = DecisionKey::new(engine.system(), false, *offered, *premium, bg, *budget);
+            let d = match cache.get(&key) {
+                Some(hit) => hit,
+                None => {
+                    let fresh = engine
+                        .decide_hour(*offered, *premium, bg, *budget)
+                        // repolint-allow(unwrap): bench inputs are feasible by construction
+                        .expect("feasible hour");
+                    cache.insert(key, fresh.clone());
+                    fresh
+                }
+            };
+            black_box(d.allocation.total_cost)
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::helpers;
@@ -53,5 +175,13 @@ mod tests {
     #[test]
     fn helpers_build() {
         assert_eq!(helpers::background().len(), helpers::paper_system().len());
+    }
+
+    #[test]
+    fn hour_cycle_exercises_all_budget_classes() {
+        let hours = super::serve_bench::hour_cycle();
+        assert!(hours.iter().any(|(_, _, _, b)| b.is_infinite()));
+        assert!(hours.iter().any(|(_, _, _, b)| *b == 1.0));
+        assert!(hours.iter().any(|(_, _, _, b)| b.is_finite() && *b > 1.0));
     }
 }

@@ -84,6 +84,29 @@ impl Args {
             .map_err(|_| ArgError(format!("--{name}: cannot parse {raw:?}")))
     }
 
+    /// Rejects any flag or switch not in `allowed` (names without the
+    /// `--` prefix). Every subcommand calls this first, so a typo like
+    /// `--sed 42` fails loudly instead of silently using the default.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        let mut unknown: Vec<&str> = self
+            .flags
+            .keys()
+            .map(String::as_str)
+            .chain(self.switches.iter().map(String::as_str))
+            .filter(|name| !allowed.contains(name))
+            .collect();
+        if unknown.is_empty() {
+            return Ok(());
+        }
+        unknown.sort_unstable();
+        unknown.dedup();
+        let list: Vec<String> = unknown.iter().map(|n| format!("--{n}")).collect();
+        Err(ArgError(format!(
+            "unknown flag(s) {}; try `billcap help`",
+            list.join(", ")
+        )))
+    }
+
     /// Comma-separated list of floats (e.g. `--background 360,410,430`).
     pub fn get_f64_list(&self, name: &str) -> Result<Option<Vec<f64>>, ArgError> {
         match self.flags.get(name) {
@@ -144,6 +167,18 @@ mod tests {
         // "-5" does not start with "--", so it is a value.
         let a = parse("x --offset -5");
         assert_eq!(a.get_or::<f64>("offset", 0.0).unwrap(), -5.0);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_deterministically() {
+        let a = parse("cmd --seed 42 --verbose");
+        assert!(a.check_known(&["seed", "verbose"]).is_ok());
+        let err = a.check_known(&["seed"]).unwrap_err();
+        assert!(err.0.contains("--verbose"), "{err}");
+        // Multiple unknowns are all reported, sorted.
+        let b = parse("cmd --zeta 1 --alpha 2");
+        let err = b.check_known(&[]).unwrap_err();
+        assert!(err.0.contains("--alpha, --zeta"), "{err}");
     }
 
     #[test]

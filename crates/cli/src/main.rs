@@ -10,6 +10,8 @@
 //! billcap analyze-trace month.jsonl [--flame out.folded] [--top 5]
 //! billcap diff-trace base.jsonl current.jsonl [--threshold 10]
 //! billcap solve-lp model.lp
+//! billcap serve [--socket /tmp/billcap.sock] [--workers 4]
+//! billcap replay [--hours 168] [--check]
 //! billcap help
 //! ```
 
@@ -20,6 +22,7 @@ mod args;
 use args::{ArgError, Args};
 use billcap_core::{audit_env_enabled, BillCapper, DataCenterSystem, HourOutcome, PlanAuditor};
 use billcap_milp::{parse_lp, MipSolver};
+use billcap_serve::{build_plan, run_replay, verify_replay, ServeConfig};
 use billcap_sim::export::monthly_report_csv;
 use billcap_sim::{run_month_with, Scenario, Strategy};
 use billcap_workload::{BackgroundDemand, TemperatureModel, TraceConfig, TraceGenerator};
@@ -96,6 +99,25 @@ USAGE:
       site/policy pairing (codes S001–S009). Exits non-zero on
       Error-severity findings; --json emits JSONL.
 
+  billcap serve [--socket PATH [--once]] [--workers N] [--no-cache]
+          [--warm-basis] [--integral]
+      Run the decide-hour daemon. Clients send framed JSON requests
+      (4-byte big-endian length prefix + JSON body) on stdin and read
+      framed responses on stdout; with --socket PATH a Unix socket is
+      served instead (--once exits after the first connection).
+      Requests shard across N decision workers (default: BILLCAP_THREADS
+      or the CPU count), each reusing incrementally-updated MILP models.
+      --no-cache disables the shared decision cache; --warm-basis
+      carries simplex bases across solves (faster, but answers are no
+      longer guaranteed bitwise-identical to the fresh solver).
+
+  billcap replay [--hours N] [--seed N] [--policy 0..3] [--workers N]
+          [--budget DOLLARS | --uncapped] [--no-cache] [--check]
+      Fire a simulated month (default: 168 hours, the paper's stringent
+      monthly budget) through an in-process decision server and report
+      throughput. With --check, verify every response bitwise against
+      the sequential fresh-model decisions and fail on any mismatch.
+
   billcap help
       Show this message.
 
@@ -129,6 +151,8 @@ fn run(tokens: Vec<String>) -> Result<(), String> {
         Some("solve-lp") => solve_lp(&args),
         Some("lint-model") => lint_model_cmd(&args),
         Some("lint-spec") => lint_spec_cmd(&args),
+        Some("serve") => serve_cmd(&args).map_err(stringify),
+        Some("replay") => replay_cmd(&args).map_err(stringify),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -184,6 +208,16 @@ fn policy_arg(args: &Args) -> Result<usize, ArgError> {
 }
 
 fn decide_hour(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "offered",
+        "premium-frac",
+        "budget",
+        "background",
+        "policy",
+        "audit",
+        "lint",
+        "trace",
+    ])?;
     let offered: f64 = args.require("offered")?;
     let premium_frac: f64 = args.get_or("premium-frac", 0.8)?;
     if !(0.0..=1.0).contains(&premium_frac) {
@@ -246,6 +280,9 @@ fn decide_hour(args: &Args) -> Result<(), ArgError> {
 }
 
 fn simulate_month(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "strategy", "budget", "policy", "seed", "csv", "hours", "quiet", "audit", "lint", "trace",
+    ])?;
     let strategy = match args.get("strategy").unwrap_or("capping") {
         "capping" => Strategy::CostCapping,
         "min-only-avg" => Strategy::MinOnlyAvg,
@@ -348,6 +385,7 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
 }
 
 fn derive_policies(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["max-load", "step"])?;
     let max_load: f64 = args.get_or("max-load", 900.0)?;
     let step: f64 = args.get_or("step", 10.0)?;
     let derived = billcap_market::fivebus::derive_policies(max_load, step)
@@ -369,6 +407,7 @@ fn derive_policies(args: &Args) -> Result<(), ArgError> {
 }
 
 fn export_trace(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["kind", "hours", "seed", "mean-rate"])?;
     let kind = args.get("kind").unwrap_or("workload");
     let hours: usize = args.get_or("hours", 720)?;
     let seed: u64 = args.get_or("seed", 42)?;
@@ -403,6 +442,7 @@ fn read_trace_snapshot(path: &str) -> Result<billcap_obs::TraceSnapshot, ArgErro
 }
 
 fn analyze_trace(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["flame", "top"])?;
     let path = args
         .positional()
         .get(1)
@@ -442,6 +482,7 @@ fn analyze_trace(args: &Args) -> Result<(), ArgError> {
 }
 
 fn diff_trace(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["threshold", "count-threshold", "warn-only"])?;
     let base_path = args
         .positional()
         .get(1)
@@ -493,6 +534,7 @@ fn diff_trace(args: &Args) -> Result<(), ArgError> {
 }
 
 fn solve_lp(args: &Args) -> Result<(), String> {
+    args.check_known(&[]).map_err(stringify)?;
     let path = args
         .positional()
         .get(1)
@@ -517,6 +559,7 @@ fn solve_lp(args: &Args) -> Result<(), String> {
 }
 
 fn lint_model_cmd(args: &Args) -> Result<(), String> {
+    args.check_known(&["json"]).map_err(stringify)?;
     let path = args
         .positional()
         .get(1)
@@ -538,6 +581,8 @@ fn lint_model_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn lint_spec_cmd(args: &Args) -> Result<(), String> {
+    args.check_known(&["policy", "synthetic", "premium-frac", "json"])
+        .map_err(stringify)?;
     let system = if let Some(spec) = args.get("synthetic") {
         let (n, l) = spec
             .split_once(',')
@@ -566,6 +611,127 @@ fn lint_spec_cmd(args: &Args) -> Result<(), String> {
     } else {
         Err(format!("{errors} error-severity finding(s)"))
     }
+}
+
+/// Builds a [`ServeConfig`] from the flags `serve` and `replay` share.
+fn serve_config(args: &Args) -> Result<ServeConfig, ArgError> {
+    let mut cfg = ServeConfig::default();
+    if let Some(raw) = args.get("workers") {
+        let workers: usize = raw
+            .parse()
+            .map_err(|_| ArgError(format!("--workers: cannot parse {raw:?}")))?;
+        if workers == 0 {
+            return Err(ArgError("--workers must be at least 1".into()));
+        }
+        cfg.workers = workers;
+    }
+    cfg.cache = !args.has("no-cache");
+    cfg.reuse_basis = args.has("warm-basis");
+    cfg.integral_servers = args.has("integral");
+    Ok(cfg)
+}
+
+fn serve_cmd(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "socket",
+        "once",
+        "workers",
+        "no-cache",
+        "warm-basis",
+        "integral",
+    ])?;
+    let cfg = serve_config(args)?;
+    if let Some(path) = args.get("socket") {
+        #[cfg(unix)]
+        {
+            let stats =
+                billcap_serve::serve_unix(&cfg, std::path::Path::new(path), args.has("once"))
+                    .map_err(|e| ArgError(format!("serving on {path:?}: {e}")))?;
+            for (i, s) in stats.iter().enumerate() {
+                eprintln!(
+                    "connection {i}: {} requests, {} decisions ({} cached), {} errors",
+                    s.requests, s.decisions, s.cache_hits, s.errors
+                );
+            }
+            return Ok(());
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(ArgError(format!(
+                "--socket {path:?}: Unix sockets are not available on this platform"
+            )));
+        }
+    }
+    if args.has("once") {
+        return Err(ArgError("--once requires --socket".into()));
+    }
+    // The unlocked handles: the lock guards are not Send, and the
+    // server moves reader/writer onto pool threads.
+    let stats = billcap_serve::serve(&cfg, std::io::stdin(), std::io::stdout());
+    eprintln!(
+        "served {} requests: {} decisions ({} cached), {} errors",
+        stats.requests, stats.decisions, stats.cache_hits, stats.errors
+    );
+    if let Some(fe) = stats.frame_error {
+        return Err(ArgError(format!("stream terminated: {fe}")));
+    }
+    Ok(())
+}
+
+fn replay_cmd(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "hours",
+        "seed",
+        "policy",
+        "workers",
+        "budget",
+        "uncapped",
+        "no-cache",
+        "warm-basis",
+        "integral",
+        "check",
+    ])?;
+    let hours: usize = args.get_or("hours", 168)?;
+    if hours == 0 {
+        return Err(ArgError("--hours must be at least 1".into()));
+    }
+    let seed: u64 = args.get_or("seed", 42)?;
+    let policy = policy_arg(args)?;
+    let budget = if args.has("uncapped") {
+        if args.get("budget").is_some() {
+            return Err(ArgError("--budget and --uncapped are exclusive".into()));
+        }
+        None
+    } else {
+        Some(args.get_or("budget", Scenario::STRINGENT_BUDGET)?)
+    };
+    let cfg = serve_config(args)?;
+
+    eprintln!("building {hours}-hour plan (policy {policy}, seed {seed})...");
+    let plan = build_plan(policy, seed, hours, budget).map_err(|e| ArgError(e.to_string()))?;
+    let outcome = run_replay(&cfg, &plan).map_err(ArgError)?;
+    println!(
+        "replayed {} hours on {} workers: {:.1} decisions/sec ({} cached, {} errors)",
+        outcome.decisions.len(),
+        cfg.workers,
+        outcome.decisions_per_sec(),
+        outcome.stats.cache_hits,
+        outcome.errors.len()
+    );
+    if args.has("check") {
+        verify_replay(&plan, &outcome).map_err(ArgError)?;
+        println!(
+            "check: all {} decisions bitwise-identical to the fresh solver",
+            outcome.decisions.len()
+        );
+    } else if !outcome.errors.is_empty() {
+        return Err(ArgError(format!(
+            "{} request(s) failed; first: {:?}",
+            outcome.errors.len(),
+            outcome.errors[0]
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -672,6 +838,50 @@ mod tests {
     #[test]
     fn simulate_month_validation() {
         assert!(run_str("simulate-month --strategy bogus").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_fail_on_every_subcommand() {
+        for cmd in [
+            "decide-hour --offered 6e8 --budget 1e9 --bogus 1",
+            "simulate-month --quiet --bogus 1",
+            "derive-policies --bogus 1",
+            "export-trace --bogus 1",
+            "analyze-trace x.jsonl --bogus 1",
+            "diff-trace a.jsonl b.jsonl --bogus 1",
+            "solve-lp x.lp --bogus 1",
+            "lint-model x.lp --bogus 1",
+            "lint-spec --bogus 1",
+            "serve --bogus 1",
+            "replay --bogus 1",
+        ] {
+            let err = run_str(cmd).unwrap_err();
+            assert!(err.contains("--bogus"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn replay_short_run_checks_bitwise() {
+        assert!(
+            run_str("replay --hours 2 --workers 2 --seed 7 --check").is_ok(),
+            "short replay with --check must verify"
+        );
+    }
+
+    #[test]
+    fn replay_validation() {
+        assert!(run_str("replay --hours 0").is_err());
+        assert!(run_str("replay --hours nope").is_err());
+        assert!(run_str("replay --workers 0").is_err());
+        assert!(run_str("replay --policy 9").is_err());
+        assert!(run_str("replay --budget 1e6 --uncapped").is_err());
+    }
+
+    #[test]
+    fn serve_validation() {
+        assert!(run_str("serve --once").is_err()); // --once needs --socket
+        assert!(run_str("serve --workers 0").is_err());
+        assert!(run_str("serve --workers nope").is_err());
     }
 
     #[test]

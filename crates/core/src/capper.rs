@@ -151,101 +151,173 @@ impl BillCapper {
         background_mw: &[f64],
         hourly_budget: f64,
     ) -> Result<HourDecision, CoreError> {
-        assert!(
-            premium_offered <= offered + 1e-9,
-            "premium rate cannot exceed the total"
-        );
-        let capacity = system.total_capacity();
-        if premium_offered > capacity {
-            return Err(CoreError::InsufficientCapacity {
-                demanded: premium_offered,
-                capacity,
-            });
-        }
-        // Capacity clamp: shed un-servable ordinary traffic up front.
-        let offered = offered.min(capacity);
-        let mut trace = DecisionTrace::default();
-
-        // Step 1: cost minimization over the whole offered load.
-        let t0 = Stopwatch::start();
-        let mut span1 = billcap_obs::span("step1");
-        let step1 = self.minimizer.solve(system, offered, background_mw)?;
-        span1.field("cost", step1.total_cost);
-        drop(span1);
-        trace.step1_ns = t0.elapsed_ns();
-        trace.absorb(&step1);
-        if step1.total_cost <= hourly_budget {
-            record_outcome(HourOutcome::WithinBudget, &step1, hourly_budget);
-            return Ok(HourDecision {
-                outcome: HourOutcome::WithinBudget,
-                offered,
-                premium_offered,
-                premium_served: premium_offered,
-                ordinary_served: offered - premium_offered,
-                budget: hourly_budget,
-                allocation: step1,
-                trace,
-            });
-        }
-
-        // Step 2: throughput maximization within the budget.
-        let t0 = Stopwatch::start();
-        let mut span2 = billcap_obs::span("step2");
-        let step2 = match self
-            .maximizer
-            .solve(system, offered, background_mw, hourly_budget)
-        {
-            Ok(a) => Some(a),
-            // A budget below the unavoidable base-power cost is infeasible;
-            // treat as zero achievable throughput.
-            Err(CoreError::Solver(SolveError::Infeasible)) => None,
-            Err(e) => return Err(e),
+        let mut backend = FreshBackend {
+            minimizer: &self.minimizer,
+            maximizer: &self.maximizer,
         };
-        if let Some(a) = &step2 {
-            span2.field("admitted", a.total_lambda);
-        }
-        drop(span2);
-        trace.step2_ns = t0.elapsed_ns();
-        if let Some(step2) = step2 {
-            trace.absorb(&step2);
-            if step2.total_lambda >= premium_offered - 1e-6 {
-                let ordinary = (step2.total_lambda - premium_offered).max(0.0);
-                record_outcome(HourOutcome::Throttled, &step2, hourly_budget);
-                return Ok(HourDecision {
-                    outcome: HourOutcome::Throttled,
-                    offered,
-                    premium_offered,
-                    premium_served: premium_offered,
-                    ordinary_served: ordinary,
-                    budget: hourly_budget,
-                    allocation: step2,
-                    trace,
-                });
-            }
-        }
+        decide_hour_impl(
+            &mut backend,
+            system,
+            offered,
+            premium_offered,
+            background_mw,
+            hourly_budget,
+        )
+    }
+}
 
-        // Premium override: serve premium at minimum cost, budget be damned.
-        let t0 = Stopwatch::start();
-        let mut span3 = billcap_obs::span("step3");
-        let step3 = self
-            .minimizer
-            .solve(system, premium_offered, background_mw)?;
-        span3.field("cost", step3.total_cost);
-        drop(span3);
-        trace.step3_ns = t0.elapsed_ns();
-        trace.absorb(&step3);
-        record_outcome(HourOutcome::PremiumOverride, &step3, hourly_budget);
-        Ok(HourDecision {
-            outcome: HourOutcome::PremiumOverride,
+/// How [`decide_hour_impl`] obtains the two optimization steps. The
+/// reference implementation ([`FreshBackend`]) builds a fresh MILP per
+/// call; [`crate::DecisionEngine`] mutates retained models in place. Both
+/// must produce bitwise-identical allocations on identical inputs.
+pub(crate) trait HourBackend {
+    /// Step 1/3: cost-minimize serving `lambda` requests/hour.
+    fn minimize(
+        &mut self,
+        system: &DataCenterSystem,
+        lambda: f64,
+        background_mw: &[f64],
+    ) -> Result<Allocation, CoreError>;
+
+    /// Step 2: maximize admitted throughput within `budget`.
+    fn maximize(
+        &mut self,
+        system: &DataCenterSystem,
+        lambda: f64,
+        background_mw: &[f64],
+        budget: f64,
+    ) -> Result<Allocation, CoreError>;
+}
+
+/// Backend that rebuilds each model from scratch (the original behavior).
+struct FreshBackend<'a> {
+    minimizer: &'a CostMinimizer,
+    maximizer: &'a ThroughputMaximizer,
+}
+
+impl HourBackend for FreshBackend<'_> {
+    fn minimize(
+        &mut self,
+        system: &DataCenterSystem,
+        lambda: f64,
+        background_mw: &[f64],
+    ) -> Result<Allocation, CoreError> {
+        self.minimizer.solve(system, lambda, background_mw)
+    }
+
+    fn maximize(
+        &mut self,
+        system: &DataCenterSystem,
+        lambda: f64,
+        background_mw: &[f64],
+        budget: f64,
+    ) -> Result<Allocation, CoreError> {
+        self.maximizer.solve(system, lambda, background_mw, budget)
+    }
+}
+
+/// The three-step capping algorithm, generic over how each MILP is
+/// produced. Shared verbatim between [`BillCapper::decide_hour`] and
+/// [`crate::DecisionEngine::decide_hour`] so the control flow (and thus
+/// every comparison and arithmetic op on the way to a decision) cannot
+/// drift between them.
+pub(crate) fn decide_hour_impl<B: HourBackend + ?Sized>(
+    backend: &mut B,
+    system: &DataCenterSystem,
+    offered: f64,
+    premium_offered: f64,
+    background_mw: &[f64],
+    hourly_budget: f64,
+) -> Result<HourDecision, CoreError> {
+    assert!(
+        premium_offered <= offered + 1e-9,
+        "premium rate cannot exceed the total"
+    );
+    let capacity = system.total_capacity();
+    if premium_offered > capacity {
+        return Err(CoreError::InsufficientCapacity {
+            demanded: premium_offered,
+            capacity,
+        });
+    }
+    // Capacity clamp: shed un-servable ordinary traffic up front.
+    let offered = offered.min(capacity);
+    let mut trace = DecisionTrace::default();
+
+    // Step 1: cost minimization over the whole offered load.
+    let t0 = Stopwatch::start();
+    let mut span1 = billcap_obs::span("step1");
+    let step1 = backend.minimize(system, offered, background_mw)?;
+    span1.field("cost", step1.total_cost);
+    drop(span1);
+    trace.step1_ns = t0.elapsed_ns();
+    trace.absorb(&step1);
+    if step1.total_cost <= hourly_budget {
+        record_outcome(HourOutcome::WithinBudget, &step1, hourly_budget);
+        return Ok(HourDecision {
+            outcome: HourOutcome::WithinBudget,
             offered,
             premium_offered,
             premium_served: premium_offered,
-            ordinary_served: 0.0,
+            ordinary_served: offered - premium_offered,
             budget: hourly_budget,
-            allocation: step3,
+            allocation: step1,
             trace,
-        })
+        });
     }
+
+    // Step 2: throughput maximization within the budget.
+    let t0 = Stopwatch::start();
+    let mut span2 = billcap_obs::span("step2");
+    let step2 = match backend.maximize(system, offered, background_mw, hourly_budget) {
+        Ok(a) => Some(a),
+        // A budget below the unavoidable base-power cost is infeasible;
+        // treat as zero achievable throughput.
+        Err(CoreError::Solver(SolveError::Infeasible)) => None,
+        Err(e) => return Err(e),
+    };
+    if let Some(a) = &step2 {
+        span2.field("admitted", a.total_lambda);
+    }
+    drop(span2);
+    trace.step2_ns = t0.elapsed_ns();
+    if let Some(step2) = step2 {
+        trace.absorb(&step2);
+        if step2.total_lambda >= premium_offered - 1e-6 {
+            let ordinary = (step2.total_lambda - premium_offered).max(0.0);
+            record_outcome(HourOutcome::Throttled, &step2, hourly_budget);
+            return Ok(HourDecision {
+                outcome: HourOutcome::Throttled,
+                offered,
+                premium_offered,
+                premium_served: premium_offered,
+                ordinary_served: ordinary,
+                budget: hourly_budget,
+                allocation: step2,
+                trace,
+            });
+        }
+    }
+
+    // Premium override: serve premium at minimum cost, budget be damned.
+    let t0 = Stopwatch::start();
+    let mut span3 = billcap_obs::span("step3");
+    let step3 = backend.minimize(system, premium_offered, background_mw)?;
+    span3.field("cost", step3.total_cost);
+    drop(span3);
+    trace.step3_ns = t0.elapsed_ns();
+    trace.absorb(&step3);
+    record_outcome(HourOutcome::PremiumOverride, &step3, hourly_budget);
+    Ok(HourDecision {
+        outcome: HourOutcome::PremiumOverride,
+        offered,
+        premium_offered,
+        premium_served: premium_offered,
+        ordinary_served: 0.0,
+        budget: hourly_budget,
+        allocation: step3,
+        trace,
+    })
 }
 
 /// Emits the per-hour outcome counters, the budget-slack gauge, and the

@@ -1,0 +1,476 @@
+//! Incremental decision engine: the bill capper with retained MILPs.
+//!
+//! [`crate::BillCapper`] rebuilds both optimization models from scratch
+//! every hour. The models' *shape* barely moves, though: variables and
+//! rows are fixed by the data-center spec, and only the kept price-level
+//! set per site (a function of the background demand `d` relative to the
+//! policy breakpoints) changes structure. [`DecisionEngine`] exploits
+//! that: it builds each step's model once, and between hours rewrites
+//! only the values that depend on the inputs —
+//!
+//! * the `z` coefficients of the `lvl_hi_{i}_{k}` / `lvl_lo_{i}_{k}`
+//!   interval rows (functions of `d_i`),
+//! * the `demand` / `offered` row RHS (`λ / RATE_SCALE`),
+//! * the `budget` row RHS.
+//!
+//! When a background change moves a site across a breakpoint the kept
+//! level set changes, and the engine rebuilds that step's model from
+//! scratch — structure is never patched in place.
+//!
+//! **Bitwise contract:** with basis reuse off (the default), every
+//! decision is bit-for-bit identical to [`crate::BillCapper::decide_hour`]
+//! on the same inputs. Both paths share the level math
+//! (`minimize::site_level_params`) and the step orchestration
+//! (`capper::decide_hour_impl`), and the value mutators write
+//! the exact floats the fresh builder would, so the solver sees an
+//! identical model either way. Basis reuse ([`DecisionEngine::
+//! set_reuse_basis`]) trades that guarantee for speed: the optimum is
+//! preserved (and re-certified under `BILLCAP_AUDIT`), but alternative
+//! optima may tie-break differently in the last ulp.
+
+use crate::capper::{decide_hour_impl, CapperConfig, HourBackend, HourDecision};
+use crate::error::CoreError;
+use crate::minimize::{
+    build_piecewise_core, extract_allocation, site_level_params, Allocation, LevelParam,
+    PiecewiseVars, RATE_SCALE,
+};
+use crate::spec::DataCenterSystem;
+use billcap_milp::{
+    ConstraintOp, IncrementalModel, IncrementalSolver, MipSolver, Model, Sense, VarId,
+};
+
+/// One retained step model: the incremental wrapper, the variable
+/// handles, and the kept-level key its structure was built for.
+struct StepModel {
+    im: IncrementalModel,
+    vars: PiecewiseVars,
+    /// Kept price-level indices per site — the structural key. When the
+    /// hour's key differs the model is rebuilt, never patched.
+    kept: Vec<Vec<usize>>,
+}
+
+/// The retained solver state behind a [`DecisionEngine`]; implements
+/// [`HourBackend`] so [`decide_hour_impl`] drives it exactly like the
+/// fresh-model capper.
+struct EngineCore {
+    integral_servers: bool,
+    /// Serves steps 1 and 3 (both are `cost_min` solves, differing only
+    /// in the demand RHS).
+    min_solver: IncrementalSolver,
+    max_solver: IncrementalSolver,
+    cost_min: Option<StepModel>,
+    thru_max: Option<StepModel>,
+}
+
+/// A [`crate::BillCapper`] that keeps its MILPs (and optionally their
+/// root bases) alive between hours. See the module docs for the reuse
+/// strategy and the bitwise contract.
+pub struct DecisionEngine {
+    system: DataCenterSystem,
+    core: EngineCore,
+}
+
+impl DecisionEngine {
+    /// Builds an engine for `system` with the given capper config.
+    /// Models are built lazily on the first decision.
+    pub fn new(system: DataCenterSystem, config: CapperConfig) -> Self {
+        Self {
+            system,
+            core: EngineCore {
+                integral_servers: config.integral_servers,
+                min_solver: IncrementalSolver::new(MipSolver::default()),
+                max_solver: IncrementalSolver::new(MipSolver::default()),
+                cost_min: None,
+                thru_max: None,
+            },
+        }
+    }
+
+    /// The system this engine decides for.
+    pub fn system(&self) -> &DataCenterSystem {
+        &self.system
+    }
+
+    /// Toggles root-basis carry-over between solves. Off by default;
+    /// turning it on keeps optima (certified under `BILLCAP_AUDIT`) but
+    /// forfeits bitwise identity with the fresh-model capper.
+    pub fn set_reuse_basis(&mut self, on: bool) {
+        self.core.min_solver.reuse_basis = on;
+        self.core.max_solver.reuse_basis = on;
+        if !on {
+            self.core.min_solver.reset();
+            self.core.max_solver.reset();
+        }
+    }
+
+    /// Whether root-basis carry-over is enabled.
+    pub fn reuse_basis(&self) -> bool {
+        self.core.min_solver.reuse_basis
+    }
+
+    /// Decides one hour's allocation. Same contract as
+    /// [`crate::BillCapper::decide_hour`].
+    pub fn decide_hour(
+        &mut self,
+        offered: f64,
+        premium_offered: f64,
+        background_mw: &[f64],
+        hourly_budget: f64,
+    ) -> Result<HourDecision, CoreError> {
+        decide_hour_impl(
+            &mut self.core,
+            &self.system,
+            offered,
+            premium_offered,
+            background_mw,
+            hourly_budget,
+        )
+    }
+}
+
+impl EngineCore {
+    /// Per-site kept-level parameters for this hour's background vector.
+    fn level_params(system: &DataCenterSystem, background_mw: &[f64]) -> Vec<Vec<LevelParam>> {
+        system
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, site)| site_level_params(site, system.policy(i), background_mw[i]))
+            .collect()
+    }
+
+    fn kept_key(params: &[Vec<LevelParam>]) -> Vec<Vec<usize>> {
+        params
+            .iter()
+            .map(|ps| ps.iter().map(|p| p.k).collect())
+            .collect()
+    }
+
+    /// Rewrites the interval-row `z` coefficients of `step` to this
+    /// hour's values. Only called when the kept key matches, so every
+    /// `(site, slot)` pair lines up with a retained `(q, z)` pair.
+    fn sync_levels(step: &mut StepModel, params: &[Vec<LevelParam>]) -> Result<(), CoreError> {
+        for (i, site_params) in params.iter().enumerate() {
+            for (p, &(_, _, _, z)) in site_params.iter().zip(&step.vars.levels[i]) {
+                let k = p.k;
+                step.im
+                    .set_coeff(&format!("lvl_hi_{i}_{k}"), z, p.zcoef_hi)?;
+                step.im
+                    .set_coeff(&format!("lvl_lo_{i}_{k}"), z, p.zcoef_lo)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensures the step-1/3 model exists and matches this hour's kept
+    /// key, rebuilding from scratch otherwise. The rebuild mirrors
+    /// [`crate::CostMinimizer::solve`] exactly (same construction
+    /// order), with the demand RHS left for the caller to set.
+    fn ensure_cost_min(
+        &mut self,
+        system: &DataCenterSystem,
+        background_mw: &[f64],
+        kept: &[Vec<usize>],
+    ) -> Result<(), CoreError> {
+        if let Some(step) = &self.cost_min {
+            if step.kept == kept {
+                return Ok(());
+            }
+        }
+        let mut m = Model::new("cost_min", Sense::Minimize);
+        let vars = build_piecewise_core(&mut m, system, background_mw, self.integral_servers);
+        m.add_constraint(
+            "demand",
+            vars.lam.iter().map(|&v| (v, 1.0)).collect(),
+            ConstraintOp::Eq,
+            0.0,
+        );
+        let obj: Vec<(VarId, f64)> = vars
+            .levels
+            .iter()
+            .flatten()
+            .map(|&(_, r, q, _)| (q, r))
+            .collect();
+        m.set_objective(obj, 0.0);
+        self.cost_min = Some(StepModel {
+            im: IncrementalModel::new(m)?,
+            vars,
+            kept: kept.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// Step-2 analogue of [`Self::ensure_cost_min`], mirroring
+    /// [`crate::ThroughputMaximizer::solve`]; `offered` and `budget`
+    /// RHS are left for the caller.
+    fn ensure_thru_max(
+        &mut self,
+        system: &DataCenterSystem,
+        background_mw: &[f64],
+        kept: &[Vec<usize>],
+    ) -> Result<(), CoreError> {
+        if let Some(step) = &self.thru_max {
+            if step.kept == kept {
+                return Ok(());
+            }
+        }
+        let mut m = Model::new("throughput_max", Sense::Maximize);
+        let vars = build_piecewise_core(&mut m, system, background_mw, self.integral_servers);
+        m.add_constraint(
+            "offered",
+            vars.lam.iter().map(|&v| (v, 1.0)).collect(),
+            ConstraintOp::Le,
+            0.0,
+        );
+        let cost_terms: Vec<(VarId, f64)> = vars
+            .levels
+            .iter()
+            .flatten()
+            .map(|&(_, r, q, _)| (q, r))
+            .collect();
+        m.add_constraint("budget", cost_terms, ConstraintOp::Le, 0.0);
+        m.set_objective(vars.lam.iter().map(|&v| (v, 1.0)).collect(), 0.0);
+        self.thru_max = Some(StepModel {
+            im: IncrementalModel::new(m)?,
+            vars,
+            kept: kept.to_vec(),
+        });
+        Ok(())
+    }
+}
+
+impl HourBackend for EngineCore {
+    fn minimize(
+        &mut self,
+        system: &DataCenterSystem,
+        lambda: f64,
+        background_mw: &[f64],
+    ) -> Result<Allocation, CoreError> {
+        if background_mw.len() != system.len() {
+            return Err(CoreError::Dimension {
+                expected: system.len(),
+                got: background_mw.len(),
+            });
+        }
+        let capacity = system.total_capacity();
+        if lambda > capacity {
+            return Err(CoreError::InsufficientCapacity {
+                demanded: lambda,
+                capacity,
+            });
+        }
+        let params = Self::level_params(system, background_mw);
+        let kept = Self::kept_key(&params);
+        self.ensure_cost_min(system, background_mw, &kept)?;
+        let step = self.cost_min.as_mut().expect("ensured above"); // repolint-allow(unwrap): ensure_cost_min always fills the slot
+        Self::sync_levels(step, &params)?;
+        step.im.set_rhs("demand", lambda / RATE_SCALE)?;
+        crate::speclint::lint_model_if_enabled(step.im.model())?;
+        let sol = self.min_solver.solve(&step.im)?;
+        crate::audit::certify_if_enabled(step.im.model(), &sol)?;
+        Ok(extract_allocation(system, &step.vars, &sol))
+    }
+
+    fn maximize(
+        &mut self,
+        system: &DataCenterSystem,
+        lambda: f64,
+        background_mw: &[f64],
+        budget: f64,
+    ) -> Result<Allocation, CoreError> {
+        if background_mw.len() != system.len() {
+            return Err(CoreError::Dimension {
+                expected: system.len(),
+                got: background_mw.len(),
+            });
+        }
+        let params = Self::level_params(system, background_mw);
+        let kept = Self::kept_key(&params);
+        self.ensure_thru_max(system, background_mw, &kept)?;
+        let step = self.thru_max.as_mut().expect("ensured above"); // repolint-allow(unwrap): ensure_thru_max always fills the slot
+        Self::sync_levels(step, &params)?;
+        step.im.set_rhs("offered", lambda / RATE_SCALE)?;
+        step.im.set_rhs("budget", budget.max(0.0))?;
+        crate::speclint::lint_model_if_enabled(step.im.model())?;
+        let sol = self.max_solver.solve(&step.im)?;
+        crate::audit::certify_if_enabled(step.im.model(), &sol)?;
+        Ok(extract_allocation(system, &step.vars, &sol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capper::{BillCapper, HourOutcome};
+    use crate::spec::DataCenterSystem;
+
+    /// Bitwise equality on everything deterministic in a decision
+    /// (wall-clock ns fields are machine noise and excluded).
+    fn assert_decisions_bitwise_equal(a: &HourDecision, b: &HourDecision, ctx: &str) {
+        assert_eq!(a.outcome, b.outcome, "{ctx}: outcome");
+        assert_eq!(a.offered.to_bits(), b.offered.to_bits(), "{ctx}: offered");
+        assert_eq!(
+            a.premium_served.to_bits(),
+            b.premium_served.to_bits(),
+            "{ctx}: premium_served"
+        );
+        assert_eq!(
+            a.ordinary_served.to_bits(),
+            b.ordinary_served.to_bits(),
+            "{ctx}: ordinary_served"
+        );
+        assert_eq!(a.budget.to_bits(), b.budget.to_bits(), "{ctx}: budget");
+        assert_eq!(a.trace.solves, b.trace.solves, "{ctx}: solves");
+        assert_eq!(a.trace.nodes, b.trace.nodes, "{ctx}: nodes");
+        assert_eq!(
+            a.trace.lp_iterations, b.trace.lp_iterations,
+            "{ctx}: lp_iterations"
+        );
+        let (x, y) = (&a.allocation, &b.allocation);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&x.lambda), bits(&y.lambda), "{ctx}: lambda");
+        assert_eq!(x.servers, y.servers, "{ctx}: servers");
+        assert_eq!(bits(&x.power_mw), bits(&y.power_mw), "{ctx}: power");
+        assert_eq!(bits(&x.price), bits(&y.price), "{ctx}: price");
+        assert_eq!(x.level, y.level, "{ctx}: level");
+        assert_eq!(bits(&x.cost), bits(&y.cost), "{ctx}: cost");
+        assert_eq!(
+            x.total_cost.to_bits(),
+            y.total_cost.to_bits(),
+            "{ctx}: total_cost"
+        );
+        assert_eq!(
+            x.total_lambda.to_bits(),
+            y.total_lambda.to_bits(),
+            "{ctx}: total_lambda"
+        );
+    }
+
+    /// A day-long sweep that exercises all three outcomes and drags
+    /// site backgrounds across price breakpoints (forcing kept-level
+    /// rebuilds between mutate-only hours). Budgets are anchored to the
+    /// hour's actual minimized cost so the throttled branch really runs.
+    fn sweep(sys: &DataCenterSystem) -> Vec<(f64, f64, Vec<f64>, f64)> {
+        let minimizer = crate::minimize::CostMinimizer::default();
+        let mut hours = Vec::new();
+        for h in 0..24u32 {
+            let t = f64::from(h);
+            let offered = 4e8 + 3e8 * (t / 23.0);
+            let premium = 0.6 * offered;
+            // Site 0 crosses its 450-MW breakpoint mid-sweep; site 1
+            // wanders within a level; site 2 crosses twice.
+            let background = vec![
+                330.0 + 10.0 * t,
+                410.0 + 2.0 * t,
+                280.0 + 25.0 * (t * 0.7).sin().abs() * t.min(8.0),
+            ];
+            let full_cost = minimizer
+                .solve(sys, offered, &background)
+                .unwrap()
+                .total_cost;
+            let budget = match h % 4 {
+                0 => f64::INFINITY,
+                1 => 0.93 * full_cost,
+                2 => 0.8 * full_cost,
+                _ => 1.0,
+            };
+            hours.push((offered, premium, background, budget));
+        }
+        hours
+    }
+
+    #[test]
+    fn engine_matches_fresh_capper_bitwise() {
+        let sys = DataCenterSystem::paper_system(1);
+        let capper = BillCapper::default();
+        let mut engine = DecisionEngine::new(sys.clone(), CapperConfig::default());
+        let mut outcomes = [0usize; 3];
+        for (h, (offered, premium, background, budget)) in sweep(&sys).into_iter().enumerate() {
+            let fresh = capper
+                .decide_hour(&sys, offered, premium, &background, budget)
+                .unwrap();
+            let served = engine
+                .decide_hour(offered, premium, &background, budget)
+                .unwrap();
+            assert_decisions_bitwise_equal(&served, &fresh, &format!("hour {h}"));
+            outcomes[match fresh.outcome {
+                HourOutcome::WithinBudget => 0,
+                HourOutcome::Throttled => 1,
+                HourOutcome::PremiumOverride => 2,
+            }] += 1;
+        }
+        assert!(
+            outcomes.iter().all(|&c| c > 0),
+            "sweep must exercise all outcomes, got {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn engine_matches_fresh_capper_with_integral_servers() {
+        let sys = DataCenterSystem::paper_system(1);
+        let config = CapperConfig {
+            integral_servers: true,
+        };
+        let capper = BillCapper::new(config.clone());
+        let mut engine = DecisionEngine::new(sys.clone(), config);
+        for (h, (offered, premium, background, budget)) in
+            sweep(&sys).into_iter().step_by(6).enumerate()
+        {
+            let fresh = capper
+                .decide_hour(&sys, offered, premium, &background, budget)
+                .unwrap();
+            let served = engine
+                .decide_hour(offered, premium, &background, budget)
+                .unwrap();
+            assert_decisions_bitwise_equal(&served, &fresh, &format!("integral hour {h}"));
+        }
+    }
+
+    #[test]
+    fn basis_reuse_preserves_the_decision_outcome() {
+        let sys = DataCenterSystem::paper_system(1);
+        let capper = BillCapper::default();
+        let mut engine = DecisionEngine::new(sys.clone(), CapperConfig::default());
+        engine.set_reuse_basis(true);
+        assert!(engine.reuse_basis());
+        for (offered, premium, background, budget) in sweep(&sys) {
+            let fresh = capper
+                .decide_hour(&sys, offered, premium, &background, budget)
+                .unwrap();
+            let served = engine
+                .decide_hour(offered, premium, &background, budget)
+                .unwrap();
+            assert_eq!(served.outcome, fresh.outcome);
+            let scale = fresh.cost().abs().max(1.0);
+            assert!(
+                (served.cost() - fresh.cost()).abs() <= 1e-7 * scale,
+                "cost {} vs {}",
+                served.cost(),
+                fresh.cost()
+            );
+            assert!(
+                (served.allocation.total_lambda - fresh.allocation.total_lambda).abs()
+                    <= 1e-6 * fresh.allocation.total_lambda.max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn engine_rejects_bad_inputs_like_the_capper() {
+        let sys = DataCenterSystem::paper_system(1);
+        let mut engine = DecisionEngine::new(sys.clone(), CapperConfig::default());
+        let capacity = sys.total_capacity();
+        assert!(matches!(
+            engine.decide_hour(3.0 * capacity, 1.5 * capacity, &[330.0, 410.0, 280.0], 1e9),
+            Err(CoreError::InsufficientCapacity { .. })
+        ));
+        assert!(matches!(
+            engine.decide_hour(1e8, 5e7, &[330.0], 1e9),
+            Err(CoreError::Dimension { .. })
+        ));
+        // The engine still works after the error paths.
+        engine
+            .decide_hour(4e8, 2e8, &[330.0, 410.0, 280.0], f64::INFINITY)
+            .unwrap();
+    }
+}

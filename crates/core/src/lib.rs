@@ -55,7 +55,9 @@
 
 pub mod audit;
 pub mod baselines;
+pub mod cache;
 pub mod capper;
+pub mod engine;
 pub mod error;
 pub mod evaluate;
 pub mod hetero;
@@ -68,7 +70,9 @@ pub mod speclint;
 
 pub use audit::{audit_env_enabled, AuditReport, PlanAuditor, PlanViolation};
 pub use baselines::{MinOnly, PriceAssumption};
-pub use capper::{BillCapper, CapperConfig, HourDecision, HourOutcome};
+pub use cache::{system_fingerprint, DecisionCache, DecisionKey};
+pub use capper::{BillCapper, CapperConfig, DecisionTrace, HourDecision, HourOutcome};
+pub use engine::DecisionEngine;
 pub use error::CoreError;
 pub use evaluate::{evaluate_allocation, RealizedCost};
 pub use hierarchical::HierarchicalMinimizer;

@@ -20,7 +20,8 @@
 //! coefficients sit within a few orders of magnitude of one.
 
 use crate::error::CoreError;
-use crate::spec::DataCenterSystem;
+use crate::spec::{DataCenterSpec, DataCenterSystem};
+use billcap_market::StepPolicy;
 use billcap_milp::{ConstraintOp, MipSolver, MipStats, Model, Sense, VarId, VarType};
 
 /// Rate unit used inside the MILPs: one million requests/hour.
@@ -65,6 +66,75 @@ pub(crate) struct PiecewiseVars {
     /// power cap) are pruned before the MILP sees them, which keeps the
     /// binary count small.
     pub levels: Vec<Vec<(usize, f64, VarId, VarId)>>,
+}
+
+/// One kept price level of a site at a given background demand, reduced to
+/// the numbers the MILP actually uses: the `z` coefficients of the
+/// `lvl_hi` / `lvl_lo` interval rows.
+///
+/// Both the from-scratch builder ([`build_piecewise_core`]) and the
+/// incremental mutator ([`crate::engine::DecisionEngine`]) derive these
+/// from this one function, so the two paths produce float-for-float
+/// identical models whenever the kept-level sets match — the bitwise
+/// reproducibility of the decision server rides on that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LevelParam {
+    /// Price level index within the site's policy.
+    pub k: usize,
+    /// Price ($/MWh) of the level.
+    pub price: f64,
+    /// Coefficient of `z` in `lvl_hi_{i}_{k}`: `q + zcoef_hi * z <= 0`.
+    pub zcoef_hi: f64,
+    /// Coefficient of `z` in `lvl_lo_{i}_{k}`: `q + zcoef_lo * z >= 0`.
+    pub zcoef_lo: f64,
+}
+
+/// Computes the kept (non-pruned) price levels of `site` under `policy`
+/// with background demand `d`, and their interval-row coefficients.
+pub(crate) fn site_level_params(
+    site: &DataCenterSpec,
+    policy: &StepPolicy,
+    d: f64,
+) -> Vec<LevelParam> {
+    let b = site.base_power_mw();
+    let cap = site.power_cap_mw;
+    let mut out = Vec::new();
+    for (k, (lo, hi, price)) in policy.levels().enumerate() {
+        // Safety margin below each breakpoint: the MILP's linearized
+        // power under-counts the realized draw by up to a few switches'
+        // worth (ceil rounding), so sitting *exactly* on a breakpoint
+        // would get billed at the next level. 10 kW of slack dwarfs the
+        // rounding error at negligible cost.
+        let hi_safe = if hi.is_finite() {
+            hi - BREAKPOINT_MARGIN_MW
+        } else {
+            hi
+        };
+        let u = (hi_safe - d).min(cap);
+        let l = (lo - d).max(0.0);
+        // Prune levels the site can never land in: the region is
+        // already past the level (u <= 0, but keep the level holding
+        // the zero-power point so an idle site stays representable),
+        // or the level starts beyond what the power cap can reach.
+        let holds_zero = lo <= d && d < hi;
+        // If the background sits inside the breakpoint margin, an idle
+        // site must still be representable: widen this level's ceiling
+        // just enough for the base (QoS headroom) power.
+        let u = if holds_zero { u.max(b + 1e-3) } else { u };
+        let reachable = u > 0.0 && l <= cap;
+        if !(reachable || holds_zero) {
+            continue;
+        }
+        out.push(LevelParam {
+            k,
+            price,
+            // u may be negative, forbidding positive power in a level
+            // kept only for the zero point.
+            zcoef_hi: -u.max(0.0),
+            zcoef_lo: -l,
+        });
+    }
+    out
 }
 
 /// Builds the common variables and constraints of both optimization steps:
@@ -116,52 +186,26 @@ pub(crate) fn build_piecewise_core(
         };
         let power_const = if integral_servers { 0.0 } else { b };
 
-        let policy = system.policy(i);
         let mut levels_i = Vec::new();
-        for (k, (lo, hi, price)) in policy.levels().enumerate() {
-            // Safety margin below each breakpoint: the MILP's linearized
-            // power under-counts the realized draw by up to a few switches'
-            // worth (ceil rounding), so sitting *exactly* on a breakpoint
-            // would get billed at the next level. 10 kW of slack dwarfs the
-            // rounding error at negligible cost.
-            let hi_safe = if hi.is_finite() {
-                hi - BREAKPOINT_MARGIN_MW
-            } else {
-                hi
-            };
-            let u = (hi_safe - d).min(cap);
-            let l = (lo - d).max(0.0);
-            // Prune levels the site can never land in: the region is
-            // already past the level (u <= 0, but keep the level holding
-            // the zero-power point so an idle site stays representable),
-            // or the level starts beyond what the power cap can reach.
-            let holds_zero = lo <= d && d < hi;
-            // If the background sits inside the breakpoint margin, an idle
-            // site must still be representable: widen this level's ceiling
-            // just enough for the base (QoS headroom) power.
-            let u = if holds_zero { u.max(b + 1e-3) } else { u };
-            let reachable = u > 0.0 && l <= cap;
-            if !(reachable || holds_zero) {
-                continue;
-            }
+        for p in site_level_params(site, system.policy(i), d) {
+            let k = p.k;
             let q = m.add_cont(format!("q_{i}_{k}"), 0.0, cap.max(0.0));
             let z = m.add_binary(format!("z_{i}_{k}"));
-            // q <= u * z   (u may be negative, forbidding positive power
-            // in a level kept only for the zero point).
+            // q <= u * z.
             m.add_constraint(
                 format!("lvl_hi_{i}_{k}"),
-                vec![(q, 1.0), (z, -u.max(0.0))],
+                vec![(q, 1.0), (z, p.zcoef_hi)],
                 ConstraintOp::Le,
                 0.0,
             );
             // q >= l * z.
             m.add_constraint(
                 format!("lvl_lo_{i}_{k}"),
-                vec![(q, 1.0), (z, -l)],
+                vec![(q, 1.0), (z, p.zcoef_lo)],
                 ConstraintOp::Ge,
                 0.0,
             );
-            levels_i.push((k, price, q, z));
+            levels_i.push((k, p.price, q, z));
         }
         debug_assert!(!levels_i.is_empty(), "policy levels tile [0, inf)");
         // Exactly one active level.

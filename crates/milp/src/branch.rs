@@ -229,12 +229,18 @@ impl<'a> NodeLp<'a> {
     }
 
     /// Solves one node relaxation under `bounds`, warm-starting from
-    /// `basis` when enabled and available.
+    /// `basis` when enabled and available. `verify_warm` runs the basis
+    /// through [`RevisedEngine::solve_warm_verified`] first — required
+    /// when the basis comes from *outside* this search tree (a previous
+    /// solve of a mutated model), where dual feasibility is no longer an
+    /// invariant; in-tree parent bases skip the check because bound
+    /// changes cannot break dual feasibility.
     fn solve(
         &mut self,
         model: &Model,
         bounds: &[(f64, f64)],
         basis: Option<&BasisState>,
+        verify_warm: bool,
         trace: &mut SolveTrace,
     ) -> Result<NodeSol, SolveError> {
         let mut iterations = 0usize;
@@ -242,7 +248,10 @@ impl<'a> NodeLp<'a> {
         if let Some(engine) = &mut self.engine {
             engine.set_var_bounds(bounds);
             let warm = if self.solver.warm_start { basis } else { None };
-            let mut result = engine.solve(warm);
+            let mut result = match warm {
+                Some(w) if verify_warm => engine.solve_warm_verified(w),
+                _ => engine.solve(warm),
+            };
             if warm.is_some() {
                 match &result {
                     Ok(_) | Err(RevisedError::Infeasible { .. }) => trace.warm_starts += 1,
@@ -319,10 +328,35 @@ impl MipSolver {
     /// Solves `model` to integer optimality (or best incumbent at the node
     /// limit, reported with [`Status::Feasible`]).
     pub fn solve(&self, model: &Model) -> Result<Solution, SolveError> {
+        self.solve_with_root_basis(model, None).map(|(sol, _)| sol)
+    }
+
+    /// Like [`solve`](Self::solve), but warm-starts the *root* relaxation
+    /// from a basis carried over from a previous solve and returns this
+    /// solve's root-optimal basis for the next one — the cross-solve
+    /// warm-start loop behind [`crate::incremental::IncrementalSolver`].
+    ///
+    /// The supplied basis is for the same constraint/variable *structure*
+    /// with possibly different coefficient *values* (RHS, objective,
+    /// matrix entries, bounds), so dual feasibility is no longer an
+    /// invariant; the root solve verifies it and silently cold-starts on
+    /// any violation — a correctness guarantee, not best-effort. Child
+    /// nodes still inherit in-tree parent bases unverified, exactly as in
+    /// [`solve`](Self::solve).
+    ///
+    /// The returned basis is `None` when the root solved densely, when
+    /// warm starts are disabled, or on the parallel path (worker-local
+    /// engines make root-basis capture racy; callers simply cold-start
+    /// the next solve).
+    pub fn solve_with_root_basis(
+        &self,
+        model: &Model,
+        root_basis: Option<&BasisState>,
+    ) -> Result<(Solution, Option<BasisState>), SolveError> {
         model.validate()?;
         let int_vars = model.integer_vars();
         if int_vars.is_empty() {
-            let mut sol = self.solve_pure_lp(model)?;
+            let (mut sol, basis) = self.solve_pure_lp_warm(model, root_basis)?;
             sol.mip = Some(MipStats {
                 nodes: 1,
                 lp_iterations: sol.iterations,
@@ -334,7 +368,7 @@ impl MipSolver {
                 },
             });
             record_obs(sol.mip.as_ref().expect("just set")); // repolint-allow(unwrap): set two lines above
-            return Ok(sol);
+            return Ok((sol, basis));
         }
 
         // Work in minimization space for pruning.
@@ -380,7 +414,10 @@ impl MipSolver {
 
         let threads = self.effective_threads();
         if threads > 1 {
-            return parallel::solve(self, model, &int_vars, sign, root_bounds, threads);
+            // Worker-local engines make root-basis capture racy; the
+            // parallel path ignores the carried basis and returns none.
+            return parallel::solve(self, model, &int_vars, sign, root_bounds, threads)
+                .map(|sol| (sol, None));
         }
 
         let mut node_lp = NodeLp::new(self, model, &root_bounds);
@@ -392,8 +429,9 @@ impl MipSolver {
             bounds: root_bounds,
             bound: f64::NEG_INFINITY,
             depth: 0,
-            basis: None,
+            basis: root_basis.cloned(),
         });
+        let mut root_basis_out: Option<BasisState> = None;
 
         let mut incumbent: Option<Solution> = None;
         let mut incumbent_key = f64::INFINITY;
@@ -416,12 +454,21 @@ impl MipSolver {
                 let sol =
                     self.finish_at_limit(incumbent, nodes, lp_iterations, sign, &frontier, trace);
                 finish_obs(&mut mip_span, sol.as_ref().ok());
-                return sol;
+                return sol.map(|s| (s, root_basis_out));
             }
             nodes += 1;
             trace.max_depth = trace.max_depth.max(node.depth);
 
-            let lp_sol = match node_lp.solve(model, &node.bounds, node.basis.as_ref(), &mut trace) {
+            // Only the root may carry an out-of-tree basis, so only the
+            // root pays the dual-feasibility verification.
+            let verify_warm = node.depth == 0;
+            let lp_sol = match node_lp.solve(
+                model,
+                &node.bounds,
+                node.basis.as_ref(),
+                verify_warm,
+                &mut trace,
+            ) {
                 Ok(s) => s,
                 Err(SolveError::Infeasible) => {
                     trace.pruned_infeasible += 1;
@@ -436,6 +483,11 @@ impl MipSolver {
             };
             lp_iterations += lp_sol.iterations;
             trace.degenerate_pivots += lp_sol.degenerate;
+            if node.depth == 0 {
+                // The root relaxation's optimal basis is the warm-start
+                // seed for the *next* solve of a mutated model.
+                root_basis_out = lp_sol.basis.clone();
+            }
             if obs_on {
                 billcap_obs::observe("milp.lp.iterations_per_node", lp_sol.iterations as f64);
             }
@@ -518,7 +570,7 @@ impl MipSolver {
                         trace,
                     });
                     finish_obs(&mut mip_span, Some(&sol));
-                    return Ok(sol);
+                    return Ok((sol, root_basis_out));
                 }
             }
         }
@@ -535,7 +587,7 @@ impl MipSolver {
                     trace,
                 });
                 finish_obs(&mut mip_span, Some(&sol));
-                Ok(sol)
+                Ok((sol, root_basis_out))
             }
             None => Err(SolveError::Infeasible),
         }
@@ -543,23 +595,44 @@ impl MipSolver {
 
     /// A pure-LP solve (no integer variables): the revised simplex when
     /// the model is cold-startable, the dense two-phase solver otherwise
-    /// — both return audited duals.
-    fn solve_pure_lp(&self, model: &Model) -> Result<Solution, SolveError> {
+    /// — both return audited duals. A carried basis is tried first via
+    /// the *verified* warm path (it crossed a model mutation, so dual
+    /// feasibility must be re-proven); rejection costs the wasted pivots
+    /// and falls through to a cold start.
+    fn solve_pure_lp_warm(
+        &self,
+        model: &Model,
+        warm: Option<&BasisState>,
+    ) -> Result<(Solution, Option<BasisState>), SolveError> {
         if self.revised {
             let engine = RevisedEngine::new(model, RevisedOptions::default());
             if engine.cold_startable() {
-                match engine.solve(None) {
-                    Ok(r) => {
-                        return Ok(Solution {
+                let from_revised = |r: crate::revised::RevisedSolution, wasted: usize| {
+                    let basis = r.basis.clone();
+                    (
+                        Solution {
                             status: Status::Optimal,
                             objective: model.eval_objective(&r.values),
                             values: r.values,
-                            iterations: r.stats.iterations,
+                            iterations: wasted + r.stats.iterations,
                             degenerate: r.stats.degenerate,
                             mip: None,
                             duals: Some(r.duals),
-                        })
+                        },
+                        Some(basis),
+                    )
+                };
+                let mut wasted = 0usize;
+                if let Some(bs) = warm.filter(|_| self.warm_start) {
+                    match engine.solve_warm_verified(bs) {
+                        Ok(r) => return Ok(from_revised(r, 0)),
+                        // Dual-infeasible or numerically unusable carry-over;
+                        // account for the probe and cold-start below.
+                        Err(e) => wasted = e.stats().iterations,
                     }
+                }
+                match engine.solve(None) {
+                    Ok(r) => return Ok(from_revised(r, wasted)),
                     Err(RevisedError::Infeasible { .. }) => return Err(SolveError::Infeasible),
                     // Numerical trouble or an iteration limit: the dense
                     // solve below is the authoritative answer.
@@ -567,7 +640,7 @@ impl MipSolver {
                 }
             }
         }
-        self.lp.solve(model)
+        self.lp.solve(model).map(|sol| (sol, None))
     }
 
     /// Absolute slack used when pruning against the incumbent.

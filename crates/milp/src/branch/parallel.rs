@@ -24,8 +24,12 @@
 //! objectives (`objective = sign * key` is exact for `sign = ±1`).
 //! Hence parallel and sequential solves return identical objective
 //! values; the reduction below additionally breaks equal-key ties by
-//! lexicographically smaller value vectors so the reported *solution* is
-//! schedule-independent too.
+//! lexicographically smaller value vectors. Note the tie-break only
+//! orders incumbents that are actually *offered*: on an instance with
+//! non-unique optima, a node holding an equal-objective alternative
+//! vertex can be pruned (its bound ties the incumbent key) before it
+//! offers, so value-vector determinism is guaranteed only when the
+//! optimum is unique — the objective is schedule-independent always.
 
 use super::{MipSolver, Node};
 use crate::error::SolveError;
@@ -299,20 +303,21 @@ impl Shared<'_> {
                 continue;
             }
 
-            let lp_sol = match node_lp.solve(self.model, &node.bounds, node.basis.as_ref(), trace) {
-                Ok(s) => s,
-                Err(SolveError::Infeasible) => {
-                    trace.pruned_infeasible += 1;
-                    let bound = self.complete(w, Vec::new());
-                    self.check_gap(bound);
-                    continue;
-                }
-                Err(e) => {
-                    self.complete(w, Vec::new());
-                    self.finish(Outcome::Error(e));
-                    continue;
-                }
-            };
+            let lp_sol =
+                match node_lp.solve(self.model, &node.bounds, node.basis.as_ref(), false, trace) {
+                    Ok(s) => s,
+                    Err(SolveError::Infeasible) => {
+                        trace.pruned_infeasible += 1;
+                        let bound = self.complete(w, Vec::new());
+                        self.check_gap(bound);
+                        continue;
+                    }
+                    Err(e) => {
+                        self.complete(w, Vec::new());
+                        self.finish(Outcome::Error(e));
+                        continue;
+                    }
+                };
             self.lp_iterations
                 .fetch_add(lp_sol.iterations, Ordering::Relaxed);
             trace.degenerate_pivots += lp_sol.degenerate;

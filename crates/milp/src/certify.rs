@@ -5,7 +5,11 @@
 //! returned [`Solution`] alone, everything the solver *claims*:
 //!
 //! * **Primal feasibility** — variable bounds and every constraint row,
-//!   with the same magnitude-scaled tolerance the solver itself uses.
+//!   with the same magnitude-scaled tolerance the solver itself uses,
+//!   plus `|coeff| * INT_TOL` per integer term (the branch-and-bound
+//!   snaps near-integral values to exact integers without re-adjusting
+//!   the continuous variables, displacing binding rows by exactly that
+//!   much).
 //! * **Integrality** — integer/binary variables sit within
 //!   [`crate::INT_TOL`] of an integer.
 //! * **Objective honesty** — the reported objective equals the objective
@@ -343,6 +347,22 @@ impl fmt::Display for CertifyReport {
     }
 }
 
+/// Total `|coefficient|` mass of a row's integer/binary terms: the row's
+/// worst-case displacement per unit of integrality tolerance when the
+/// branch-and-bound snaps near-integral values to exact integers.
+fn int_coeff_mass(model: &Model, c: &Constraint) -> f64 {
+    c.terms
+        .iter()
+        .filter(|&&(v, _)| {
+            matches!(
+                model.variables()[v.index()].var_type,
+                VarType::Integer | VarType::Binary
+            )
+        })
+        .map(|&(_, coeff)| coeff.abs())
+        .sum()
+}
+
 /// Evaluates a constraint row and its magnitude scale at a point.
 fn row_eval(c: &Constraint, values: &[f64]) -> (f64, f64) {
     let mut lhs = 0.0;
@@ -420,7 +440,12 @@ pub fn certify_solution_with(
     // --- primal feasibility: constraint rows ---
     for (i, c) in model.constraints().iter().enumerate() {
         let (lhs, scale) = row_eval(c, &sol.values);
-        let t = opts.tol * scale;
+        // Integer variables are only trusted to int_tol (the
+        // branch-and-bound snaps near-integral LP values to round()
+        // without re-adjusting the continuous variables), so every row
+        // inherits up to |a_j| * int_tol of displacement per integer
+        // term on top of the magnitude-scaled float tolerance.
+        let t = opts.tol * scale + opts.int_tol * int_coeff_mass(model, c);
         let slack = match c.op {
             ConstraintOp::Le => lhs - c.rhs,
             ConstraintOp::Ge => c.rhs - lhs,
@@ -670,6 +695,48 @@ mod tests {
         let report = certify_solution(&m, &sol);
         assert!(report.certified(), "{report}");
         assert!(report.checks > 5);
+    }
+
+    /// The branch-and-bound snaps near-integral LP values to `round()`
+    /// without re-adjusting continuous variables, so a binding row with a
+    /// big integer coefficient can end up displaced by up to
+    /// `|coeff| * INT_TOL`. Certification must tolerate exactly that
+    /// (observed in the wild: an indicator row `q - 65 z <= 0` binding at
+    /// `z = 4.9e-8`, snapped to 0, leaving `q = 3.2e-6`), while anything
+    /// beyond the snap allowance still fails.
+    #[test]
+    fn integer_snap_displacement_is_tolerated_but_no_more() {
+        let mut m = Model::new("snap", Sense::Maximize);
+        let q = m.add_cont("q", 0.0, 100.0);
+        let z = m.add_binary("z");
+        m.add_constraint("ind", vec![(q, 1.0), (z, -65.0)], ConstraintOp::Le, 0.0);
+        m.set_objective(vec![(q, 1.0)], 0.0);
+
+        // z sat at 4.9e-8 pre-snap; q kept the binding-row value.
+        let mut snapped = MipSolver::default().solve(&m).unwrap();
+        snapped.mip = None; // no stats to cross-check against the edit
+        snapped.values = vec![65.0 * 4.9e-8, 0.0];
+        snapped.objective = 65.0 * 4.9e-8;
+        let report = certify_solution(&m, &snapped);
+        assert!(report.certified(), "{report}");
+
+        // Ten times the whole-row snap allowance is a real violation.
+        let mut beyond = snapped.clone();
+        beyond.values = vec![65.0 * INT_TOL * 10.0, 0.0];
+        beyond.objective = 65.0 * INT_TOL * 10.0;
+        let report = certify_solution(&m, &beyond);
+        assert!(!report.certified(), "must reject {report}");
+
+        // A row with no integer terms gets no allowance at all.
+        let mut lp = Model::new("cont", Sense::Maximize);
+        let x = lp.add_cont("x", 0.0, 100.0);
+        lp.add_constraint("ub", vec![(x, 1.0)], ConstraintOp::Le, 0.0);
+        lp.set_objective(vec![(x, 1.0)], 0.0);
+        let mut drift = LpSolver::default().solve(&lp).unwrap();
+        drift.duals = None; // the primal row check is the subject here
+        drift.values = vec![3.2e-6];
+        drift.objective = 3.2e-6;
+        assert!(!certify_solution(&lp, &drift).certified());
     }
 
     #[test]

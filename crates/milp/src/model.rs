@@ -191,6 +191,66 @@ impl Model {
         var.ub = ub;
     }
 
+    /// Replaces the right-hand side of constraint `idx`.
+    ///
+    /// Value-only mutation: the constraint's terms, operator and name are
+    /// untouched, so a solver-side structural cache (sparsity pattern,
+    /// factorization symbolics, [`crate::incremental::IncrementalModel`]'s
+    /// structural hash) stays valid.
+    pub fn set_constraint_rhs(&mut self, idx: usize, rhs: f64) -> Result<(), SolveError> {
+        let c = self
+            .constraints
+            .get_mut(idx)
+            .ok_or_else(|| SolveError::InvalidModel(format!("no constraint #{idx}")))?;
+        c.rhs = rhs;
+        Ok(())
+    }
+
+    /// Replaces the coefficient of `v` in constraint `idx`.
+    ///
+    /// The term must already exist: introducing a new nonzero would change
+    /// the sparsity pattern, which value-only mutation promises not to do.
+    /// Errors name the constraint so misuse is diagnosable.
+    pub fn set_constraint_coeff(
+        &mut self,
+        idx: usize,
+        v: VarId,
+        coeff: f64,
+    ) -> Result<(), SolveError> {
+        let c = self
+            .constraints
+            .get_mut(idx)
+            .ok_or_else(|| SolveError::InvalidModel(format!("no constraint #{idx}")))?;
+        match c.terms.iter_mut().find(|(var, _)| *var == v) {
+            Some((_, old)) => {
+                *old = coeff;
+                Ok(())
+            }
+            None => Err(SolveError::InvalidModel(format!(
+                "constraint '{}' has no term on variable #{}; value-only \
+                 mutation cannot add nonzeros",
+                c.name, v.0
+            ))),
+        }
+    }
+
+    /// Replaces the objective coefficient of `v`. Like
+    /// [`set_constraint_coeff`](Self::set_constraint_coeff), the term must
+    /// already exist in the objective.
+    pub fn set_objective_coeff(&mut self, v: VarId, coeff: f64) -> Result<(), SolveError> {
+        match self.objective.iter_mut().find(|(var, _)| *var == v) {
+            Some((_, old)) => {
+                *old = coeff;
+                Ok(())
+            }
+            None => Err(SolveError::InvalidModel(format!(
+                "objective has no term on variable #{}; value-only mutation \
+                 cannot add nonzeros",
+                v.0
+            ))),
+        }
+    }
+
     /// The variables of the model.
     pub fn variables(&self) -> &[Variable] {
         &self.variables
@@ -414,6 +474,33 @@ mod tests {
         let x = m.add_cont("x", 0.0, 10.0);
         m.set_objective(vec![(x, 2.0)], 7.0);
         assert_eq!(m.eval_objective(&[3.0]), 13.0);
+    }
+
+    #[test]
+    fn value_mutators_rewrite_in_place() {
+        let mut m = Model::new("t", Sense::Minimize);
+        let x = m.add_cont("x", 0.0, 10.0);
+        let y = m.add_cont("y", 0.0, 10.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 2.0)], ConstraintOp::Le, 5.0);
+        m.set_objective(vec![(x, 3.0)], 0.0);
+        m.set_constraint_rhs(0, 7.0).unwrap();
+        m.set_constraint_coeff(0, y, 4.0).unwrap();
+        m.set_objective_coeff(x, 9.0).unwrap();
+        assert_eq!(m.constraints()[0].rhs, 7.0);
+        assert_eq!(m.constraints()[0].terms, vec![(x, 1.0), (y, 4.0)]);
+        assert_eq!(m.objective(), &[(x, 9.0)]);
+    }
+
+    #[test]
+    fn value_mutators_reject_missing_targets() {
+        let mut m = Model::new("t", Sense::Minimize);
+        let x = m.add_cont("x", 0.0, 10.0);
+        let y = m.add_cont("y", 0.0, 10.0);
+        m.add_constraint("c", vec![(x, 1.0)], ConstraintOp::Le, 5.0);
+        m.set_objective(vec![(x, 3.0)], 0.0);
+        assert!(m.set_constraint_rhs(1, 0.0).is_err());
+        assert!(m.set_constraint_coeff(0, y, 1.0).is_err());
+        assert!(m.set_objective_coeff(y, 1.0).is_err());
     }
 
     #[test]

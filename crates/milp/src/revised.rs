@@ -44,6 +44,12 @@ const ZTOL: f64 = 1e-9;
 /// Refuse (or retire) a basis whose pivot magnitudes fall below this.
 const PIVOT_TOL: f64 = 1e-8;
 
+/// Reduced-cost sign tolerance when *verifying* an externally supplied
+/// warm basis (see [`RevisedEngine::solve_warm_verified`]). Matches the
+/// default primal `feas_tol` scale: the models are pre-scaled, so an
+/// absolute tolerance is appropriate.
+const DUAL_TOL: f64 = 1e-7;
+
 /// Where a standard-form column currently sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColStatus {
@@ -326,6 +332,64 @@ impl RevisedEngine {
             Some(_) => return Err(numerical(stats)),
             None => self.cold_status().ok_or(numerical(stats))?,
         };
+        self.optimize(status, &mut stats)
+            .map(|(values, duals, basis)| RevisedSolution {
+                values,
+                duals,
+                basis,
+                stats,
+            })
+    }
+
+    /// Like [`solve`](Self::solve) with `Some(warm)`, but *verifies* the
+    /// basis is dual feasible under the current costs and matrix before
+    /// entering the dual simplex. The main loop's exit test is primal
+    /// feasibility alone — dual feasibility is an invariant the caller
+    /// vouches for. That is sound inside branch-and-bound (children
+    /// inherit a parent's optimal basis and only bounds change; reduced
+    /// costs are bound-independent), but a basis carried *across models*
+    /// — the incremental path reusing last hour's basis after matrix and
+    /// objective edits — can be dual infeasible, and trusting it would
+    /// silently return a suboptimal point as "optimal". Any violation
+    /// reports [`RevisedError::Numerical`], which warm-start callers
+    /// already treat as "fall back to a cold start".
+    pub fn solve_warm_verified(&self, warm: &BasisState) -> Result<RevisedSolution, RevisedError> {
+        let mut stats = RevisedStats::default();
+        let numerical = |stats: RevisedStats| RevisedError::Numerical { stats };
+        if warm.status.len() != self.ncols {
+            return Err(numerical(stats));
+        }
+        let status = self.repair(warm.status.clone()).ok_or(numerical(stats))?;
+        let basic: Vec<usize> = (0..self.ncols)
+            .filter(|&j| status[j] == ColStatus::Basic)
+            .collect();
+        if basic.len() != self.m {
+            return Err(numerical(stats));
+        }
+        let fact = self.factor(&basic, &mut stats).ok_or(numerical(stats))?;
+        // Candidate duals: y = B⁻ᵀ·c_B.
+        let mut y = vec![0.0; self.m];
+        for (slot, &j) in basic.iter().enumerate() {
+            y[slot] = self.cost[j];
+        }
+        fact.btran(&mut y);
+        // Nonbasic reduced-cost signs in minimization space: a column at
+        // its lower bound needs rc ≥ 0, at its upper bound rc ≤ 0. Fixed
+        // columns (l == u) never enter, so their sign is irrelevant.
+        for (j, &s) in status.iter().enumerate() {
+            if s == ColStatus::Basic || self.lb[j] == self.ub[j] {
+                continue;
+            }
+            let rc = self.cost[j] - self.a.col_dot(j, &y);
+            let ok = match s {
+                ColStatus::Lower => rc >= -DUAL_TOL,
+                ColStatus::Upper => rc <= DUAL_TOL,
+                ColStatus::Basic => unreachable!("basic filtered above"),
+            };
+            if !ok {
+                return Err(numerical(stats));
+            }
+        }
         self.optimize(status, &mut stats)
             .map(|(values, duals, basis)| RevisedSolution {
                 values,
@@ -619,6 +683,63 @@ mod tests {
         let engine = RevisedEngine::new(model, RevisedOptions::default());
         assert!(engine.cold_startable());
         engine.solve(None).expect("solvable")
+    }
+
+    /// `x, y ∈ [0, 10]`, `x + y ≤ 4`, objective coefficients `(cx, cy)`.
+    fn box_model(cx: f64, cy: f64) -> Model {
+        let mut m = Model::new("box", Sense::Minimize);
+        let x = m.add_cont("x", 0.0, 10.0);
+        let y = m.add_cont("y", 0.0, 10.0);
+        m.add_constraint("cap", vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        m.set_objective(vec![(x, cx), (y, cy)], 0.0);
+        m
+    }
+
+    #[test]
+    fn warm_verified_accepts_an_optimal_basis() {
+        let m = box_model(1.0, 1.0);
+        let engine = RevisedEngine::new(&m, RevisedOptions::default());
+        let cold = engine.solve(None).expect("solvable");
+        let warm = engine
+            .solve_warm_verified(&cold.basis)
+            .expect("own optimal basis verifies");
+        assert_eq!(warm.values, cold.values);
+        assert_eq!(warm.stats.iterations, 0);
+    }
+
+    #[test]
+    fn warm_verified_rejects_dual_infeasible_basis() {
+        // min x + y puts both structurals at their lower bound. Under the
+        // flipped objective min −x − y that basis is primal feasible but
+        // dual infeasible: the unverified dual simplex would exit
+        // immediately and report the (suboptimal) origin as optimal. The
+        // verified entry point must refuse instead.
+        let cheap = RevisedEngine::new(&box_model(1.0, 1.0), RevisedOptions::default());
+        let basis = cheap.solve(None).expect("solvable").basis;
+        let flipped = RevisedEngine::new(&box_model(-1.0, -1.0), RevisedOptions::default());
+        assert!(matches!(
+            flipped.solve_warm_verified(&basis),
+            Err(RevisedError::Numerical { .. })
+        ));
+        // And the cold solve of the flipped model finds the true optimum.
+        let sol = flipped.solve(None).expect("solvable");
+        let obj: f64 = sol.values[0] + sol.values[1];
+        assert!((obj - 4.0).abs() < 1e-6, "sum {obj}");
+    }
+
+    #[test]
+    fn warm_verified_accepts_still_dual_feasible_basis_across_rhs_change() {
+        // RHS changes never affect reduced costs, so last-solve bases stay
+        // dual feasible — the incremental path's common case.
+        let m1 = box_model(1.0, -1.0);
+        let e1 = RevisedEngine::new(&m1, RevisedOptions::default());
+        let basis = e1.solve(None).expect("solvable").basis;
+        let mut m2 = box_model(1.0, -1.0);
+        m2.set_constraint_rhs(0, 2.0).expect("row exists");
+        let e2 = RevisedEngine::new(&m2, RevisedOptions::default());
+        let warm = e2.solve_warm_verified(&basis).expect("dual feasible");
+        let cold = e2.solve(None).expect("solvable");
+        assert_eq!(warm.values, cold.values);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! # billcap-serve
+//!
+//! A zero-dependency decide-hour daemon. Clients send framed JSON
+//! requests (4-byte big-endian length prefix + UTF-8 JSON body) over
+//! stdio or a Unix socket; the server shards them across a
+//! `billcap-rt` worker pool and answers with the same decision the CLI
+//! `decide-hour` subcommand would print — bitwise-identical, by
+//! construction, when the basis-reuse speedup is off (the default).
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — framing, request/response schema, and the
+//!   [`protocol::DecisionMsg::bitwise_matches`] differential check.
+//! * [`server`] — the reader/worker pool: per-worker
+//!   [`billcap_core::DecisionEngine`]s (incremental model reuse), a
+//!   shared [`billcap_core::DecisionCache`], and in-band error
+//!   responses for malformed input.
+//! * [`replay`] — a differential harness that replays a simulated
+//!   month through the server and verifies every response against
+//!   sequential fresh-model decisions.
+//!
+//! ## Example
+//!
+//! Serve two requests over in-memory buffers:
+//!
+//! ```
+//! use billcap_serve::protocol::{write_frame, read_frame, Request, Response, MAX_FRAME};
+//! use billcap_serve::server::{serve, ServeConfig};
+//! use std::io::Cursor;
+//!
+//! let req = Request {
+//!     id: 1,
+//!     policy: 1,
+//!     offered: 5e8,
+//!     premium_offered: 3e8,
+//!     background_mw: vec![330.0, 410.0, 280.0],
+//!     hourly_budget: f64::INFINITY,
+//! };
+//! let mut input = Vec::new();
+//! write_frame(&mut input, req.to_value().render().as_bytes()).unwrap();
+//!
+//! let mut output = Vec::new();
+//! let cfg = ServeConfig { workers: 1, ..ServeConfig::default() };
+//! let stats = serve(&cfg, Cursor::new(input), &mut output);
+//! assert_eq!(stats.decisions, 1);
+//!
+//! let frame = read_frame(&mut Cursor::new(output), MAX_FRAME).unwrap().unwrap();
+//! match Response::parse(&frame).unwrap() {
+//!     Response::Decision(msg) => assert_eq!(msg.id, 1),
+//!     Response::Error { message, .. } => panic!("{message}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod replay;
+pub mod server;
+
+pub use protocol::{
+    read_frame, write_frame, DecisionMsg, FrameError, Request, RequestError, Response, MAX_FRAME,
+};
+pub use replay::{
+    build_plan, encode_requests, run_replay, verify_replay, ReplayOutcome, ReplayPlan,
+};
+pub use server::{serve, ServeConfig, ServeStats};
+
+#[cfg(unix)]
+pub use server::serve_unix;

@@ -1,0 +1,726 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 JSON.
+//! Frames are self-delimiting, so a stream of them needs no separators
+//! and binary-safe transports (pipes, Unix sockets) carry them as-is.
+//!
+//! Floats ride on [`billcap_obs::json`], whose shortest-round-trip
+//! rendering reproduces every finite `f64` bit-for-bit — the protocol
+//! therefore transports decisions *exactly*, which is what lets the
+//! differential tests compare served responses against in-process
+//! solves with `to_bits` equality. The single non-finite value the
+//! domain needs, an unlimited budget (`+∞`), is encoded as JSON `null`.
+//!
+//! A request names a paper pricing policy (0..=3) instead of shipping
+//! the whole data-center spec; the server builds and retains one
+//! [`billcap_core::DecisionEngine`] per (worker, policy).
+//!
+//! Responses carry only the deterministic parts of a decision: the
+//! full allocation vectors, the served/offered scalars, and the
+//! `solves`/`nodes`/`lp_iterations` counters. Wall-clock fields of
+//! [`billcap_core::DecisionTrace`] are machine noise and never cross
+//! the wire.
+
+use billcap_core::{HourDecision, HourOutcome};
+use billcap_obs::json::Value;
+use std::io::{Read, Write};
+
+/// Default maximum frame payload (1 MiB) — far above any real request,
+/// small enough that a hostile length prefix cannot balloon memory.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Framing failures. Anything here poisons the *stream* (a frame
+/// boundary was lost), as opposed to per-request JSON errors, which are
+/// answered in-band and leave the stream usable.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside a header or payload.
+    Truncated {
+        /// Bytes the frame still owed.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The header announced a payload larger than the configured cap.
+    Oversized {
+        /// Announced payload length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated frame: expected {expected} more bytes, got {got}"
+                )
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at
+/// a frame boundary); EOF anywhere else is [`FrameError::Truncated`].
+pub fn read_frame<R: Read + ?Sized>(
+    r: &mut R,
+    max_payload: usize,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    expected: 4 - filled,
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_payload {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    expected: len - got,
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one frame (header + payload). The caller flushes.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32::MAX",
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Renders a maybe-infinite budget: `null` encodes `+∞`.
+fn budget_to_value(budget: f64) -> Value {
+    if budget.is_finite() {
+        Value::Float(budget)
+    } else {
+        Value::Null
+    }
+}
+
+/// Parses a maybe-null budget; absent and `null` both mean unlimited.
+fn budget_from_value(v: Option<&Value>) -> Result<f64, String> {
+    match v {
+        None | Some(Value::Null) => Ok(f64::INFINITY),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| "budget must be a number or null".to_string()),
+    }
+}
+
+fn require_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn require_f64_vec(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing or non-array field '{key}'"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("non-numeric element in '{key}'"))
+        })
+        .collect()
+}
+
+fn require_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+/// One decide-hour request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Paper pricing-policy family (0..=3) selecting the system.
+    pub policy: usize,
+    /// Total offered rate (requests/hour).
+    pub offered: f64,
+    /// Premium share of the offered rate.
+    pub premium_offered: f64,
+    /// Regional background demand per site (MW).
+    pub background_mw: Vec<f64>,
+    /// Hourly budget ($); `f64::INFINITY` (JSON `null`) = unlimited.
+    pub hourly_budget: f64,
+}
+
+/// Highest pricing-policy family index the server will instantiate.
+pub const MAX_POLICY: usize = 3;
+
+impl Request {
+    /// Renders the request as a JSON payload.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), Value::Int(self.id as i64)),
+            ("policy".into(), Value::Int(self.policy as i64)),
+            ("offered".into(), Value::Float(self.offered)),
+            ("premium".into(), Value::Float(self.premium_offered)),
+            (
+                "background".into(),
+                Value::Arr(
+                    self.background_mw
+                        .iter()
+                        .map(|&d| Value::Float(d))
+                        .collect(),
+                ),
+            ),
+            ("budget".into(), budget_to_value(self.hourly_budget)),
+        ])
+    }
+
+    /// Parses and validates a request payload. On failure the error
+    /// carries the request id when one could be extracted, so the
+    /// server can still correlate the error response.
+    pub fn parse(payload: &[u8]) -> Result<Request, RequestError> {
+        let text = std::str::from_utf8(payload).map_err(|e| RequestError {
+            id: None,
+            message: format!("payload is not UTF-8: {e}"),
+        })?;
+        let v = Value::parse(text).map_err(|e| RequestError {
+            id: None,
+            message: format!("payload is not JSON: {e}"),
+        })?;
+        let id = v.get("id").and_then(Value::as_u64);
+        let fail = |message: String| RequestError { id, message };
+        let id_val = id.ok_or_else(|| fail("missing or non-integer field 'id'".into()))?;
+        let policy = v
+            .get("policy")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| fail("missing or non-integer field 'policy'".into()))?
+            as usize;
+        let offered = require_f64(&v, "offered").map_err(&fail)?;
+        let premium_offered = require_f64(&v, "premium").map_err(&fail)?;
+        let background_mw = require_f64_vec(&v, "background").map_err(&fail)?;
+        let hourly_budget = budget_from_value(v.get("budget")).map_err(&fail)?;
+        let req = Request {
+            id: id_val,
+            policy,
+            offered,
+            premium_offered,
+            background_mw,
+            hourly_budget,
+        };
+        req.validate().map_err(&fail)?;
+        Ok(req)
+    }
+
+    /// Domain validation: everything that would panic or misbehave
+    /// deeper in the stack is rejected here with a message instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.policy > MAX_POLICY {
+            return Err(format!(
+                "policy {} out of range (0..={MAX_POLICY})",
+                self.policy
+            ));
+        }
+        if !self.offered.is_finite() || self.offered < 0.0 {
+            return Err(format!(
+                "offered rate {} must be finite and >= 0",
+                self.offered
+            ));
+        }
+        if !self.premium_offered.is_finite() || self.premium_offered < 0.0 {
+            return Err(format!(
+                "premium rate {} must be finite and >= 0",
+                self.premium_offered
+            ));
+        }
+        if self.premium_offered > self.offered {
+            return Err(format!(
+                "premium rate {} exceeds offered rate {}",
+                self.premium_offered, self.offered
+            ));
+        }
+        if self.background_mw.is_empty() {
+            return Err("background demand vector is empty".into());
+        }
+        for (i, d) in self.background_mw.iter().enumerate() {
+            if !d.is_finite() || *d < 0.0 {
+                return Err(format!("background[{i}] = {d} must be finite and >= 0"));
+            }
+        }
+        if self.hourly_budget.is_nan() || self.hourly_budget == f64::NEG_INFINITY {
+            return Err("budget must be a finite number or null".into());
+        }
+        Ok(())
+    }
+}
+
+/// A request that could not be parsed or validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The request id, when it could be extracted from the payload.
+    pub id: Option<u64>,
+    /// What went wrong.
+    pub message: String,
+}
+
+fn outcome_tag(outcome: HourOutcome) -> &'static str {
+    match outcome {
+        HourOutcome::WithinBudget => "within_budget",
+        HourOutcome::Throttled => "throttled",
+        HourOutcome::PremiumOverride => "premium_override",
+    }
+}
+
+fn outcome_from_tag(tag: &str) -> Result<HourOutcome, String> {
+    match tag {
+        "within_budget" => Ok(HourOutcome::WithinBudget),
+        "throttled" => Ok(HourOutcome::Throttled),
+        "premium_override" => Ok(HourOutcome::PremiumOverride),
+        other => Err(format!("unknown outcome '{other}'")),
+    }
+}
+
+/// The deterministic image of an [`HourDecision`], as shipped to the
+/// client. Excludes the wall-clock trace fields (machine noise) and
+/// includes the `cached` marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionMsg {
+    /// Echoed request id.
+    pub id: u64,
+    /// Whether the decision was answered from the decision cache.
+    pub cached: bool,
+    /// Which branch of the algorithm produced the decision.
+    pub outcome: HourOutcome,
+    /// Offered rate after the capacity clamp.
+    pub offered: f64,
+    /// Premium share of the offered rate.
+    pub premium_offered: f64,
+    /// Premium requests served.
+    pub premium_served: f64,
+    /// Ordinary requests served.
+    pub ordinary_served: f64,
+    /// Budget the decision was made against (`∞` = unlimited).
+    pub budget: f64,
+    /// Per-site admitted rate (requests/hour).
+    pub lambda: Vec<f64>,
+    /// Per-site active server count.
+    pub servers: Vec<u64>,
+    /// Per-site power draw (MW).
+    pub power_mw: Vec<f64>,
+    /// Per-site electricity price ($/MWh).
+    pub price: Vec<f64>,
+    /// Per-site selected price level.
+    pub level: Vec<usize>,
+    /// Per-site cost ($).
+    pub cost: Vec<f64>,
+    /// Total cost ($).
+    pub total_cost: f64,
+    /// Total admitted rate (requests/hour).
+    pub total_lambda: f64,
+    /// MILP solves performed for this decision.
+    pub solves: usize,
+    /// Branch-and-bound nodes across the solves.
+    pub nodes: usize,
+    /// Simplex iterations across the solves.
+    pub lp_iterations: usize,
+}
+
+impl DecisionMsg {
+    /// Projects a finished decision onto the wire shape.
+    pub fn from_decision(id: u64, d: &HourDecision, cached: bool) -> Self {
+        Self {
+            id,
+            cached,
+            outcome: d.outcome,
+            offered: d.offered,
+            premium_offered: d.premium_offered,
+            premium_served: d.premium_served,
+            ordinary_served: d.ordinary_served,
+            budget: d.budget,
+            lambda: d.allocation.lambda.clone(),
+            servers: d.allocation.servers.clone(),
+            power_mw: d.allocation.power_mw.clone(),
+            price: d.allocation.price.clone(),
+            level: d.allocation.level.clone(),
+            cost: d.allocation.cost.clone(),
+            total_cost: d.allocation.total_cost,
+            total_lambda: d.allocation.total_lambda,
+            solves: d.trace.solves,
+            nodes: d.trace.nodes,
+            lp_iterations: d.trace.lp_iterations,
+        }
+    }
+
+    /// Renders the decision as a JSON payload.
+    pub fn to_value(&self) -> Value {
+        let farr = |v: &[f64]| Value::Arr(v.iter().map(|&f| Value::Float(f)).collect());
+        Value::Obj(vec![
+            ("type".into(), Value::Str("decision".into())),
+            ("id".into(), Value::Int(self.id as i64)),
+            ("cached".into(), Value::Bool(self.cached)),
+            (
+                "outcome".into(),
+                Value::Str(outcome_tag(self.outcome).into()),
+            ),
+            ("offered".into(), Value::Float(self.offered)),
+            ("premium_offered".into(), Value::Float(self.premium_offered)),
+            ("premium_served".into(), Value::Float(self.premium_served)),
+            ("ordinary_served".into(), Value::Float(self.ordinary_served)),
+            ("budget".into(), budget_to_value(self.budget)),
+            ("lambda".into(), farr(&self.lambda)),
+            (
+                "servers".into(),
+                Value::Arr(self.servers.iter().map(|&s| Value::Int(s as i64)).collect()),
+            ),
+            ("power_mw".into(), farr(&self.power_mw)),
+            ("price".into(), farr(&self.price)),
+            (
+                "level".into(),
+                Value::Arr(self.level.iter().map(|&k| Value::Int(k as i64)).collect()),
+            ),
+            ("cost".into(), farr(&self.cost)),
+            ("total_cost".into(), Value::Float(self.total_cost)),
+            ("total_lambda".into(), Value::Float(self.total_lambda)),
+            ("solves".into(), Value::Int(self.solves as i64)),
+            ("nodes".into(), Value::Int(self.nodes as i64)),
+            (
+                "lp_iterations".into(),
+                Value::Int(self.lp_iterations as i64),
+            ),
+        ])
+    }
+
+    /// Parses a decision payload (the client half of the protocol).
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let uvec = |key: &str| -> Result<Vec<u64>, String> {
+            let arr = v
+                .get(key)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("missing or non-array field '{key}'"))?;
+            arr.iter()
+                .map(|x| {
+                    x.as_u64()
+                        .ok_or_else(|| format!("non-integer element in '{key}'"))
+                })
+                .collect()
+        };
+        Ok(Self {
+            id: require_u64(v, "id")?,
+            cached: matches!(v.get("cached"), Some(Value::Bool(true))),
+            outcome: outcome_from_tag(
+                v.get("outcome")
+                    .and_then(Value::as_str)
+                    .ok_or("missing field 'outcome'")?,
+            )?,
+            offered: require_f64(v, "offered")?,
+            premium_offered: require_f64(v, "premium_offered")?,
+            premium_served: require_f64(v, "premium_served")?,
+            ordinary_served: require_f64(v, "ordinary_served")?,
+            budget: budget_from_value(v.get("budget"))?,
+            lambda: require_f64_vec(v, "lambda")?,
+            servers: uvec("servers")?,
+            power_mw: require_f64_vec(v, "power_mw")?,
+            price: require_f64_vec(v, "price")?,
+            level: uvec("level")?.into_iter().map(|k| k as usize).collect(),
+            cost: require_f64_vec(v, "cost")?,
+            total_cost: require_f64(v, "total_cost")?,
+            total_lambda: require_f64(v, "total_lambda")?,
+            solves: require_u64(v, "solves")? as usize,
+            nodes: require_u64(v, "nodes")? as usize,
+            lp_iterations: require_u64(v, "lp_iterations")? as usize,
+        })
+    }
+
+    /// Checks this message against a locally computed decision with
+    /// raw-bit float equality. Returns the first mismatching field.
+    pub fn bitwise_matches(&self, d: &HourDecision) -> Result<(), String> {
+        fn feq(name: &str, a: f64, b: f64) -> Result<(), String> {
+            if a.to_bits() == b.to_bits() || (a == f64::INFINITY && b == f64::INFINITY) {
+                Ok(())
+            } else {
+                Err(format!("{name}: served {a:?} != expected {b:?}"))
+            }
+        }
+        fn veq(name: &str, a: &[f64], b: &[f64]) -> Result<(), String> {
+            if a.len() != b.len() {
+                return Err(format!("{name}: length {} != {}", a.len(), b.len()));
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                feq(&format!("{name}[{i}]"), *x, *y)?;
+            }
+            Ok(())
+        }
+        if self.outcome != d.outcome {
+            return Err(format!(
+                "outcome: served {:?} != expected {:?}",
+                self.outcome, d.outcome
+            ));
+        }
+        feq("offered", self.offered, d.offered)?;
+        feq("premium_offered", self.premium_offered, d.premium_offered)?;
+        feq("premium_served", self.premium_served, d.premium_served)?;
+        feq("ordinary_served", self.ordinary_served, d.ordinary_served)?;
+        feq("budget", self.budget, d.budget)?;
+        veq("lambda", &self.lambda, &d.allocation.lambda)?;
+        if self.servers != d.allocation.servers {
+            return Err("servers: vector mismatch".into());
+        }
+        veq("power_mw", &self.power_mw, &d.allocation.power_mw)?;
+        veq("price", &self.price, &d.allocation.price)?;
+        if self.level != d.allocation.level {
+            return Err("level: vector mismatch".into());
+        }
+        veq("cost", &self.cost, &d.allocation.cost)?;
+        feq("total_cost", self.total_cost, d.allocation.total_cost)?;
+        feq("total_lambda", self.total_lambda, d.allocation.total_lambda)?;
+        if self.solves != d.trace.solves {
+            return Err(format!(
+                "solves: served {} != expected {}",
+                self.solves, d.trace.solves
+            ));
+        }
+        if self.nodes != d.trace.nodes {
+            return Err(format!(
+                "nodes: served {} != expected {}",
+                self.nodes, d.trace.nodes
+            ));
+        }
+        if self.lp_iterations != d.trace.lp_iterations {
+            return Err(format!(
+                "lp_iterations: served {} != expected {}",
+                self.lp_iterations, d.trace.lp_iterations
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A response frame: a decision or a structured, correlated error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A finished decision.
+    Decision(DecisionMsg),
+    /// A per-request or stream-level error.
+    Error {
+        /// The offending request's id, when known.
+        id: Option<u64>,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as a JSON payload.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Decision(d) => d.to_value(),
+            Response::Error { id, message } => Value::Obj(vec![
+                ("type".into(), Value::Str("error".into())),
+                (
+                    "id".into(),
+                    id.map(|i| Value::Int(i as i64)).unwrap_or(Value::Null),
+                ),
+                ("message".into(), Value::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Parses a response payload.
+    pub fn parse(payload: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("not UTF-8: {e}"))?;
+        let v = Value::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("decision") => DecisionMsg::from_value(&v).map(Response::Decision),
+            Some("error") => Ok(Response::Error {
+                id: v.get("id").and_then(Value::as_u64),
+                message: v
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn request() -> Request {
+        Request {
+            id: 7,
+            policy: 1,
+            offered: 6.5e8,
+            premium_offered: 3.9e8,
+            background_mw: vec![330.5, 410.25, 280.125],
+            hourly_budget: 25_000.0,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur, MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur, MAX_FRAME).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cur, MAX_FRAME).unwrap().unwrap(), b"world");
+        assert!(read_frame(&mut cur, MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_detected() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"payload").unwrap();
+        // Cut inside the header.
+        let mut cur = Cursor::new(full[..2].to_vec());
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME),
+            Err(FrameError::Truncated { .. })
+        ));
+        // Cut inside the payload.
+        let mut cur = Cursor::new(full[..full.len() - 3].to_vec());
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn request_round_trips_bitwise() {
+        let req = request();
+        let rendered = req.to_value().render();
+        let back = Request::parse(rendered.as_bytes()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.offered.to_bits(), req.offered.to_bits());
+        // Unlimited budget crosses as null.
+        let unlimited = Request {
+            hourly_budget: f64::INFINITY,
+            ..req
+        };
+        let back = Request::parse(unlimited.to_value().render().as_bytes()).unwrap();
+        assert_eq!(back.hourly_budget, f64::INFINITY);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_with_the_id() {
+        let cases = [
+            (r#"{"policy":1}"#, None),
+            (
+                r#"{"id":3,"policy":9,"offered":1.0,"premium":0.5,"background":[1.0]}"#,
+                Some(3),
+            ),
+            (
+                r#"{"id":4,"policy":1,"offered":1.0,"premium":2.0,"background":[1.0]}"#,
+                Some(4),
+            ),
+            (
+                r#"{"id":5,"policy":1,"offered":1e400,"premium":0.0,"background":[1.0]}"#,
+                Some(5),
+            ),
+            (
+                r#"{"id":6,"policy":1,"offered":1.0,"premium":0.5,"background":[]}"#,
+                Some(6),
+            ),
+        ];
+        for (payload, id) in cases {
+            let err = Request::parse(payload.as_bytes()).unwrap_err();
+            assert_eq!(err.id, id, "case {payload}");
+        }
+        assert!(Request::parse(&[0xff, 0xfe]).is_err());
+        assert!(Request::parse(b"{not json").is_err());
+    }
+
+    #[test]
+    fn decision_round_trips_via_response() {
+        use billcap_core::{BillCapper, DataCenterSystem};
+        let sys = DataCenterSystem::paper_system(1);
+        let d = BillCapper::default()
+            .decide_hour(&sys, 6e8, 3.6e8, &[330.0, 410.0, 280.0], f64::INFINITY)
+            .unwrap();
+        let msg = DecisionMsg::from_decision(9, &d, false);
+        msg.bitwise_matches(&d).unwrap();
+        let rendered = Response::Decision(msg.clone()).to_value().render();
+        match Response::parse(rendered.as_bytes()).unwrap() {
+            Response::Decision(back) => {
+                assert_eq!(back, msg);
+                back.bitwise_matches(&d).unwrap();
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_responses_round_trip() {
+        for id in [Some(11), None] {
+            let r = Response::Error {
+                id,
+                message: "bad request".into(),
+            };
+            let back = Response::parse(r.to_value().render().as_bytes()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! The decision server: a reader thread fans frames out to a pool of
+//! decision workers over a shared queue.
+//!
+//! Topology (all on [`billcap_rt::run_workers`], so no thread outlives
+//! the call):
+//!
+//! ```text
+//!  reader (worker 0) ──frames──▶ Mutex<VecDeque> ──▶ workers 1..=N
+//!                                                      │ per-worker DecisionEngines
+//!                                                      ▼
+//!                                    Mutex<W> ◀──response frames──┘
+//! ```
+//!
+//! * Each worker owns one [`DecisionEngine`] per pricing policy, so
+//!   model reuse never crosses threads and needs no locking.
+//! * The decision cache (optional) is shared: one hour solved by any
+//!   worker is a hit for every worker.
+//! * Malformed requests get an in-band `error` response and the stream
+//!   continues; framing errors (truncation, oversized length) poison
+//!   the stream — the server emits one final `error` frame and shuts
+//!   down cleanly. Neither ever panics a worker.
+//!
+//! Responses are written in completion order; clients correlate by
+//! `id`. With the cache off and basis reuse off, every response body is
+//! bitwise-identical to a fresh in-process
+//! [`billcap_core::BillCapper::decide_hour`] on the same request.
+
+use crate::protocol::{
+    read_frame, write_frame, DecisionMsg, FrameError, Request, Response, MAX_FRAME,
+};
+use billcap_core::{CapperConfig, DataCenterSystem, DecisionCache, DecisionEngine, DecisionKey};
+use billcap_rt::run_workers;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Decision workers (the reader thread is extra). Minimum 1.
+    pub workers: usize,
+    /// Share finished decisions through a [`DecisionCache`].
+    pub cache: bool,
+    /// Capacity of the shared decision cache.
+    pub cache_capacity: usize,
+    /// Carry root bases across solves inside each engine. Off by
+    /// default: it trades the bitwise-identity guarantee for speed.
+    pub reuse_basis: bool,
+    /// Maximum accepted frame payload, bytes.
+    pub max_frame: usize,
+    /// Model server counts as integers inside the MILPs.
+    pub integral_servers: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: billcap_rt::num_threads(),
+            cache: true,
+            cache_capacity: DecisionCache::DEFAULT_CAPACITY,
+            reuse_basis: false,
+            max_frame: MAX_FRAME,
+            integral_servers: false,
+        }
+    }
+}
+
+/// What one [`serve`] call processed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Frames received and dispatched to workers.
+    pub requests: u64,
+    /// Decision responses written.
+    pub decisions: u64,
+    /// Error responses written (malformed requests, solver errors).
+    pub errors: u64,
+    /// Decisions answered from the shared cache.
+    pub cache_hits: u64,
+    /// The framing error that terminated the stream, if any.
+    pub frame_error: Option<String>,
+}
+
+struct Queue {
+    frames: VecDeque<Vec<u8>>,
+    done: bool,
+}
+
+struct Shared<W: Write> {
+    queue: Mutex<Queue>,
+    available: Condvar,
+    writer: Mutex<W>,
+    cache: Option<Mutex<DecisionCache>>,
+    requests: AtomicU64,
+    decisions: AtomicU64,
+    errors: AtomicU64,
+    frame_error: Mutex<Option<String>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<W: Write> Shared<W> {
+    fn respond(&self, response: &Response) {
+        let payload = response.to_value().render();
+        let mut w = lock(&self.writer);
+        let ok = write_frame(&mut *w, payload.as_bytes()).and_then(|()| w.flush());
+        drop(w);
+        match response {
+            Response::Decision(_) => self.decisions.fetch_add(1, Ordering::Relaxed),
+            Response::Error { .. } => self.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        if ok.is_err() {
+            // The client is gone; keep draining the queue so the call
+            // terminates, but stop pretending writes matter.
+            billcap_obs::counter("serve.write_failed", 1);
+        }
+    }
+}
+
+/// Runs the server over an arbitrary transport until the reader hits
+/// end-of-stream (or a framing error), then drains the queue and
+/// returns. Panics never escape worker threads for malformed input —
+/// every bad request is answered in-band.
+pub fn serve<R, W>(cfg: &ServeConfig, reader: R, writer: W) -> ServeStats
+where
+    R: Read + Send,
+    W: Write + Send,
+{
+    let workers = cfg.workers.max(1);
+    let shared = Shared {
+        queue: Mutex::new(Queue {
+            frames: VecDeque::new(),
+            done: false,
+        }),
+        available: Condvar::new(),
+        writer: Mutex::new(writer),
+        cache: cfg
+            .cache
+            .then(|| Mutex::new(DecisionCache::new(cfg.cache_capacity))),
+        requests: AtomicU64::new(0),
+        decisions: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        frame_error: Mutex::new(None),
+    };
+    let reader_slot: Mutex<Option<R>> = Mutex::new(Some(reader));
+
+    run_workers(workers + 1, |w| {
+        if w == 0 {
+            run_reader(cfg, &shared, &reader_slot);
+        } else {
+            run_decider(cfg, &shared);
+        }
+    });
+
+    let cache_hits = shared.cache.as_ref().map(|c| lock(c).hits()).unwrap_or(0);
+    let frame_error = lock(&shared.frame_error).clone();
+    ServeStats {
+        requests: shared.requests.load(Ordering::Relaxed),
+        decisions: shared.decisions.load(Ordering::Relaxed),
+        errors: shared.errors.load(Ordering::Relaxed),
+        cache_hits,
+        frame_error,
+    }
+}
+
+fn run_reader<R: Read, W: Write>(
+    cfg: &ServeConfig,
+    shared: &Shared<W>,
+    reader_slot: &Mutex<Option<R>>,
+) {
+    let mut reader = match lock(reader_slot).take() {
+        Some(r) => r,
+        None => return,
+    };
+    loop {
+        match read_frame(&mut reader, cfg.max_frame) {
+            Ok(Some(frame)) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let mut q = lock(&shared.queue);
+                q.frames.push_back(frame);
+                if billcap_obs::enabled() {
+                    billcap_obs::gauge("serve.queue_depth", q.frames.len() as f64);
+                }
+                drop(q);
+                shared.available.notify_one();
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // The stream lost its frame boundaries: answer with one
+                // terminal error and stop reading. Queued requests are
+                // still served.
+                let message = match &e {
+                    FrameError::Io(io) => format!("stream error: {io}"),
+                    other => format!("protocol error: {other}"),
+                };
+                billcap_obs::counter("serve.frame_errors", 1);
+                *lock(&shared.frame_error) = Some(message.clone());
+                shared.respond(&Response::Error { id: None, message });
+                break;
+            }
+        }
+    }
+    lock(&shared.queue).done = true;
+    shared.available.notify_all();
+}
+
+fn run_decider<W: Write>(cfg: &ServeConfig, shared: &Shared<W>) {
+    let mut engines: HashMap<usize, DecisionEngine> = HashMap::new();
+    loop {
+        let frame = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(f) = q.frames.pop_front() {
+                    break Some(f);
+                }
+                if q.done {
+                    break None;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(frame) = frame else { break };
+        handle_request(cfg, shared, &mut engines, &frame);
+    }
+}
+
+fn handle_request<W: Write>(
+    cfg: &ServeConfig,
+    shared: &Shared<W>,
+    engines: &mut HashMap<usize, DecisionEngine>,
+    frame: &[u8],
+) {
+    let mut span = billcap_obs::span("serve.request");
+    let req = match Request::parse(frame) {
+        Ok(r) => r,
+        Err(e) => {
+            span.field("error", 1.0);
+            drop(span);
+            shared.respond(&Response::Error {
+                id: e.id,
+                message: e.message,
+            });
+            return;
+        }
+    };
+    span.field("id", req.id as f64);
+    span.field("policy", req.policy as f64);
+
+    let engine = engines.entry(req.policy).or_insert_with(|| {
+        let system = DataCenterSystem::paper_system(req.policy);
+        let mut e = DecisionEngine::new(
+            system,
+            CapperConfig {
+                integral_servers: cfg.integral_servers,
+            },
+        );
+        e.set_reuse_basis(cfg.reuse_basis);
+        e
+    });
+
+    let key = shared.cache.as_ref().map(|_| {
+        DecisionKey::new(
+            engine.system(),
+            cfg.integral_servers,
+            req.offered,
+            req.premium_offered,
+            &req.background_mw,
+            req.hourly_budget,
+        )
+    });
+    if let (Some(cache), Some(key)) = (&shared.cache, &key) {
+        if let Some(hit) = lock(cache).get(key) {
+            span.field("cached", 1.0);
+            drop(span);
+            shared.respond(&Response::Decision(DecisionMsg::from_decision(
+                req.id, &hit, true,
+            )));
+            return;
+        }
+    }
+
+    match engine.decide_hour(
+        req.offered,
+        req.premium_offered,
+        &req.background_mw,
+        req.hourly_budget,
+    ) {
+        Ok(decision) => {
+            span.field("cost", decision.allocation.total_cost);
+            span.field("solves", decision.trace.solves as f64);
+            drop(span);
+            if let (Some(cache), Some(key)) = (&shared.cache, key) {
+                lock(cache).insert(key, decision.clone());
+            }
+            shared.respond(&Response::Decision(DecisionMsg::from_decision(
+                req.id, &decision, false,
+            )));
+        }
+        Err(e) => {
+            span.field("error", 1.0);
+            drop(span);
+            shared.respond(&Response::Error {
+                id: Some(req.id),
+                message: format!("decision failed: {e}"),
+            });
+        }
+    }
+}
+
+/// Binds a Unix socket at `path` and serves connections sequentially
+/// (each connection gets the full worker pool). With `once`, returns
+/// after the first connection closes — the mode the tests and the CLI's
+/// one-shot invocations use. A pre-existing socket file at `path` is
+/// replaced.
+#[cfg(unix)]
+pub fn serve_unix(
+    cfg: &ServeConfig,
+    path: &std::path::Path,
+    once: bool,
+) -> std::io::Result<Vec<ServeStats>> {
+    use std::os::unix::net::UnixListener;
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    let mut all = Vec::new();
+    loop {
+        let (stream, _addr) = listener.accept()?;
+        let reader = stream.try_clone()?;
+        all.push(serve(cfg, reader, stream));
+        if once {
+            return Ok(all);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use billcap_core::BillCapper;
+    use std::io::Cursor;
+
+    fn one_worker() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn encode(requests: &[Request]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for r in requests {
+            write_frame(&mut buf, r.to_value().render().as_bytes()).unwrap();
+        }
+        buf
+    }
+
+    fn responses(out: &[u8]) -> Vec<Response> {
+        let mut cur = Cursor::new(out.to_vec());
+        let mut all = Vec::new();
+        while let Some(frame) = read_frame(&mut cur, MAX_FRAME).unwrap() {
+            all.push(Response::parse(&frame).unwrap());
+        }
+        all
+    }
+
+    fn request(id: u64) -> Request {
+        Request {
+            id,
+            policy: 1,
+            offered: 5e8,
+            premium_offered: 3e8,
+            background_mw: vec![330.0, 410.0, 280.0],
+            hourly_budget: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn serves_a_decision_matching_the_fresh_capper() {
+        let input = encode(&[request(42)]);
+        let mut out = Vec::new();
+        let stats = serve(&one_worker(), Cursor::new(input), &mut out);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.decisions, 1);
+        assert_eq!(stats.errors, 0);
+        let rs = responses(&out);
+        assert_eq!(rs.len(), 1);
+        let sys = DataCenterSystem::paper_system(1);
+        let expected = BillCapper::default()
+            .decide_hour(&sys, 5e8, 3e8, &[330.0, 410.0, 280.0], f64::INFINITY)
+            .unwrap();
+        match &rs[0] {
+            Response::Decision(msg) => {
+                assert_eq!(msg.id, 42);
+                assert!(!msg.cached);
+                msg.bitwise_matches(&expected).unwrap();
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_request_hits_the_cache_and_stays_bitwise() {
+        let input = encode(&[request(1), request(2), request(3)]);
+        let mut out = Vec::new();
+        let stats = serve(&one_worker(), Cursor::new(input), &mut out);
+        assert_eq!(stats.decisions, 3);
+        assert_eq!(stats.cache_hits, 2);
+        let sys = DataCenterSystem::paper_system(1);
+        let expected = BillCapper::default()
+            .decide_hour(&sys, 5e8, 3e8, &[330.0, 410.0, 280.0], f64::INFINITY)
+            .unwrap();
+        let mut cached_seen = 0;
+        for r in responses(&out) {
+            match r {
+                Response::Decision(msg) => {
+                    msg.bitwise_matches(&expected).unwrap();
+                    cached_seen += usize::from(msg.cached);
+                }
+                other => panic!("got {other:?}"),
+            }
+        }
+        assert_eq!(cached_seen, 2);
+    }
+
+    #[test]
+    fn malformed_request_gets_an_error_and_the_stream_continues() {
+        let mut input = Vec::new();
+        write_frame(&mut input, b"{\"id\":10,\"policy\":99}").unwrap();
+        write_frame(&mut input, request(11).to_value().render().as_bytes()).unwrap();
+        let mut out = Vec::new();
+        let stats = serve(&one_worker(), Cursor::new(input), &mut out);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.decisions, 1);
+        assert_eq!(stats.errors, 1);
+        let rs = responses(&out);
+        let error = rs
+            .iter()
+            .find_map(|r| match r {
+                Response::Error { id, message } => Some((*id, message.clone())),
+                _ => None,
+            })
+            .expect("one error response");
+        assert_eq!(error.0, Some(10));
+        assert!(
+            rs.iter()
+                .any(|r| matches!(r, Response::Decision(m) if m.id == 11)),
+            "valid request after the bad one must still be answered"
+        );
+    }
+
+    #[test]
+    fn truncated_stream_reports_a_frame_error_but_serves_queued_work() {
+        let mut input = encode(&[request(1)]);
+        input.extend_from_slice(&[0, 0]); // half a header
+        let mut out = Vec::new();
+        let stats = serve(&one_worker(), Cursor::new(input), &mut out);
+        assert_eq!(stats.decisions, 1);
+        assert!(stats.frame_error.is_some());
+        assert!(responses(&out)
+            .iter()
+            .any(|r| matches!(r, Response::Error { id: None, .. })));
+    }
+
+    #[test]
+    fn multi_worker_answers_every_request() {
+        let requests: Vec<Request> = (0..12).map(request).collect();
+        let input = encode(&requests);
+        let cfg = ServeConfig {
+            workers: 4,
+            cache: false,
+            ..ServeConfig::default()
+        };
+        let mut out = Vec::new();
+        let stats = serve(&cfg, Cursor::new(input), &mut out);
+        assert_eq!(stats.decisions, 12);
+        let mut ids: Vec<u64> = responses(&out)
+            .into_iter()
+            .map(|r| match r {
+                Response::Decision(m) => m.id,
+                other => panic!("got {other:?}"),
+            })
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        use std::io::Write as _;
+        use std::os::unix::net::UnixStream;
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("billcap-serve-test-{}.sock", std::process::id()));
+        let path_clone = path.clone();
+        let cfg = one_worker();
+        // Client on a second thread via the workspace pool: connect,
+        // send one request, read one response, close.
+        let result: Mutex<Option<Response>> = Mutex::new(None);
+        let server_stats: Mutex<Vec<ServeStats>> = Mutex::new(Vec::new());
+        run_workers(2, |w| {
+            if w == 0 {
+                let stats = serve_unix(&cfg, &path_clone, true).unwrap();
+                *lock(&server_stats) = stats;
+            } else {
+                // Wait for the socket file to appear.
+                let mut tries = 0;
+                let stream = loop {
+                    match UnixStream::connect(&path) {
+                        Ok(s) => break s,
+                        Err(_) if tries < 200 => {
+                            tries += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("connect: {e}"),
+                    }
+                };
+                let mut writer = stream.try_clone().unwrap();
+                write_frame(&mut writer, request(5).to_value().render().as_bytes()).unwrap();
+                writer.flush().unwrap();
+                let mut reader = stream;
+                let frame = read_frame(&mut reader, MAX_FRAME).unwrap().unwrap();
+                *lock(&result) = Some(Response::parse(&frame).unwrap());
+                drop(reader);
+                drop(writer);
+            }
+        });
+        let _ = std::fs::remove_file(&path);
+        match lock(&result).take() {
+            Some(Response::Decision(m)) => assert_eq!(m.id, 5),
+            other => panic!("got {other:?}"),
+        }
+        assert_eq!(lock(&server_stats)[0].decisions, 1);
+    }
+}

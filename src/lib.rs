@@ -19,6 +19,7 @@
 //! | [`workload`] | synthetic traces, background demand, the budgeter |
 //! | [`core`] | cost minimizer, throughput maximizer, bill capper, baselines |
 //! | [`sim`] | monthly simulation harness and per-figure experiments |
+//! | [`serve`] | decide-hour daemon: framed JSON protocol, worker-pool server, differential replay |
 //! | [`rt`] | deterministic RNG, worker pool, and bench harness (no external deps) |
 //! | [`obs`] | tracing spans, counters and histograms (`BILLCAP_TRACE` / `--trace`) |
 //! | [`obs_analyze`] | trace consumers: span-tree profiler, flamegraph export, trace diffing, perf-trajectory gate |
@@ -56,5 +57,6 @@ pub use billcap_obs_analyze as obs_analyze;
 pub use billcap_power as power;
 pub use billcap_queueing as queueing;
 pub use billcap_rt as rt;
+pub use billcap_serve as serve;
 pub use billcap_sim as sim;
 pub use billcap_workload as workload;

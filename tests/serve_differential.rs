@@ -1,0 +1,109 @@
+//! Differential test for the decision server: a 168-hour simulated week
+//! (the paper's scenario under the stringent monthly budget) replayed
+//! through `billcap::serve` must produce responses **bitwise-identical**
+//! to sequential fresh-model `decide_hour` calls — at 1 and 4 workers,
+//! with and without the decision cache. This is the server's whole
+//! correctness contract: the daemon is never allowed to drift from the
+//! CLI, not even in the last ulp.
+//!
+//! The expensive part — building the 168-hour ground-truth plan with a
+//! fresh `BillCapper` per the simulator's budget-feedback loop — runs
+//! once and is shared by every test via `OnceLock`.
+
+use billcap::serve::{
+    build_plan, encode_requests, read_frame, run_replay, verify_replay, Response, ServeConfig,
+    MAX_FRAME,
+};
+use billcap::sim::Scenario;
+use std::io::Cursor;
+use std::sync::OnceLock;
+
+const HOURS: usize = 168;
+
+fn plan() -> &'static billcap::serve::ReplayPlan {
+    static PLAN: OnceLock<billcap::serve::ReplayPlan> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        build_plan(1, 42, HOURS, Some(Scenario::STRINGENT_BUDGET))
+            .expect("ground-truth plan builds")
+    })
+}
+
+fn config(workers: usize, cache: bool) -> ServeConfig {
+    ServeConfig {
+        workers,
+        cache,
+        ..ServeConfig::default()
+    }
+}
+
+fn replay_and_verify(workers: usize, cache: bool) {
+    let plan = plan();
+    let outcome = run_replay(&config(workers, cache), plan).expect("replay runs");
+    verify_replay(plan, &outcome).unwrap_or_else(|e| {
+        panic!("workers={workers} cache={cache}: {e}");
+    });
+    assert_eq!(outcome.stats.decisions as usize, HOURS);
+    assert_eq!(outcome.stats.errors, 0);
+}
+
+#[test]
+fn one_worker_no_cache_is_bitwise_identical() {
+    replay_and_verify(1, false);
+}
+
+#[test]
+fn one_worker_with_cache_is_bitwise_identical() {
+    replay_and_verify(1, true);
+}
+
+#[test]
+fn four_workers_no_cache_is_bitwise_identical() {
+    replay_and_verify(4, false);
+}
+
+#[test]
+fn four_workers_with_cache_is_bitwise_identical() {
+    replay_and_verify(4, true);
+}
+
+/// The same week submitted twice in one connection: the second pass must
+/// be answered from the decision cache (every request is an exact bit
+/// pattern repeat) and remain bitwise-identical to the fresh decisions.
+#[test]
+fn cached_second_pass_stays_bitwise_identical() {
+    let plan = plan();
+    let mut input = encode_requests(plan);
+    let second = encode_requests(plan);
+    input.extend_from_slice(&second);
+
+    let mut out = Vec::new();
+    let stats = billcap::serve::serve(&config(2, true), Cursor::new(input), &mut out);
+    assert_eq!(stats.decisions as usize, 2 * HOURS);
+    assert_eq!(stats.errors, 0);
+    // Workers race hour-for-hour duplicates only within one pass's
+    // in-flight window; the full second pass is all hits, so at least
+    // HOURS of the 2*HOURS requests must have been served from cache.
+    assert!(
+        stats.cache_hits as usize >= HOURS,
+        "expected >= {HOURS} cache hits, got {}",
+        stats.cache_hits
+    );
+
+    let mut per_hour_count = vec![0usize; HOURS];
+    let mut cur = Cursor::new(out);
+    while let Some(frame) = read_frame(&mut cur, MAX_FRAME).expect("server frames parse") {
+        match Response::parse(&frame).expect("server responses parse") {
+            Response::Decision(msg) => {
+                let t = msg.id as usize;
+                per_hour_count[t] += 1;
+                msg.bitwise_matches(&plan.expected[t])
+                    .unwrap_or_else(|e| panic!("hour {t} (cached={}): {e}", msg.cached));
+            }
+            Response::Error { id, message } => panic!("error for {id:?}: {message}"),
+        }
+    }
+    assert!(
+        per_hour_count.iter().all(|&c| c == 2),
+        "every hour answered twice"
+    );
+}
