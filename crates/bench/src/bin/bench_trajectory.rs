@@ -22,7 +22,10 @@ use billcap_milp::MipSolver;
 use billcap_obs_analyze::trajectory::{BenchPoint, BenchTrajectory, TraceAggregates};
 use billcap_rt::{BenchConfig, Harness};
 use billcap_sim::experiments::synthetic_system;
-use billcap_sim::{run_month_with, Scenario, Strategy};
+use billcap_sim::{
+    run_month_fresh, run_month_scratch, run_month_with, MonthScratch, RiskConfig, RiskEngine,
+    Scenario, Strategy,
+};
 use std::hint::black_box;
 use std::process::ExitCode;
 
@@ -93,6 +96,63 @@ fn bench_solvers(h: &mut Harness) {
     });
 }
 
+/// Month-loop and Monte-Carlo benches: the fresh-allocation oracle vs
+/// the scratch-reuse production path on identical inputs (the
+/// allocation-reuse refactor's headline number), plus a small risk run.
+fn bench_month_runs(h: &mut Harness) {
+    const HOURS: usize = 48;
+    let mut scenario = Scenario::paper_default(1, 42);
+    scenario.workload = scenario.workload.slice(0, HOURS);
+    scenario.background = scenario
+        .background
+        .iter()
+        .map(|b| b.slice(0, HOURS))
+        .collect();
+    let budget = Some(Scenario::STRINGENT_BUDGET * HOURS as f64 / 720.0);
+
+    h.bench("month_run/fresh", || {
+        let report = run_month_fresh(
+            black_box(&scenario),
+            Strategy::CostCapping,
+            black_box(budget),
+            false,
+            None,
+        )
+        .expect("month simulates");
+        black_box(report.total_cost())
+    });
+
+    let mut scratch = MonthScratch::new();
+    h.bench("month_run/scratch", || {
+        let report = run_month_scratch(
+            black_box(&scenario),
+            Strategy::CostCapping,
+            black_box(budget),
+            false,
+            None,
+            &mut scratch,
+        )
+        .expect("month simulates");
+        black_box(report.total_cost())
+    });
+
+    // A small Monte-Carlo risk run: 4 perturbed 24-hour samples on 2
+    // workers (fixed thread count so the number is comparable across
+    // machines).
+    let config = RiskConfig {
+        samples: 4,
+        hours: 24,
+        threads: 2,
+        monthly_budget: Some(Scenario::STRINGENT_BUDGET * 24.0 / 720.0),
+        ..RiskConfig::default()
+    };
+    let engine = RiskEngine::new(config);
+    h.bench("risk_engine/4x24h", || {
+        let (_, summary) = engine.run().expect("risk run");
+        black_box(summary.bill.p99)
+    });
+}
+
 /// Runs the traced one-week capping reference and returns its work
 /// aggregates.
 fn traced_reference_run() -> Result<TraceAggregates, String> {
@@ -134,6 +194,7 @@ fn run() -> Result<(), String> {
 
     let mut h = Harness::with_config(BenchConfig::default());
     bench_solvers(&mut h);
+    bench_month_runs(&mut h);
     // The decision-server strategy benches (cold vs incremental vs warm
     // vs cached) — the serve subsystem's perf claim lives in this file.
     billcap_bench::serve_bench::bench_decide_strategies(&mut h);

@@ -9,6 +9,8 @@
 //! billcap export-trace --kind workload [--hours 720] [--seed 42]
 //! billcap analyze-trace month.jsonl [--flame out.folded] [--top 5]
 //! billcap diff-trace base.jsonl current.jsonl [--threshold 10]
+//! billcap simulate-risk [--samples 1000] [--seed 42] [--threads 4]
+//!         [--cap-schedule derate:0.3] [--hours 168] [--json risk.jsonl]
 //! billcap solve-lp model.lp
 //! billcap serve [--socket /tmp/billcap.sock] [--workers 4]
 //! billcap replay [--hours 168] [--check]
@@ -24,7 +26,8 @@ use billcap_core::{audit_env_enabled, BillCapper, DataCenterSystem, HourOutcome,
 use billcap_milp::{parse_lp, MipSolver};
 use billcap_serve::{build_plan, run_replay, verify_replay, ServeConfig};
 use billcap_sim::export::monthly_report_csv;
-use billcap_sim::{run_month_with, Scenario, Strategy};
+use billcap_sim::risk::to_jsonl;
+use billcap_sim::{run_month_with, RiskConfig, RiskEngine, Scenario, ScheduleSpec, Strategy};
 use billcap_workload::{BackgroundDemand, TemperatureModel, TraceConfig, TraceGenerator};
 use std::process::ExitCode;
 
@@ -56,6 +59,23 @@ USAGE:
       a path does the same without the flag; BILLCAP_TRACE=1 enables
       collection only. With --hours N, only the first N hours of the
       month are simulated (--budget then covers just those hours).
+
+  billcap simulate-risk [--samples N] [--seed N] [--threads N]
+          [--cap-schedule none|derate|derate:DEPTH] [--hours N]
+          [--budget DOLLARS | --uncapped] [--policy 0..3] [--audit]
+          [--json FILE] [--quiet]
+      Monte-Carlo risk run: N perturbed-seed month simulations (workload
+      level/growth jitter, extra flash crowds, background-demand shifts,
+      predictor error on the budgeting history) fanned across the worker
+      pool, aggregated into P50/P95/P99 bill and violation distributions
+      for the capper next to the Min-Only baseline. Sample i is seeded
+      from a SplitMix64 seed stream, so results are bitwise identical at
+      any --threads value. With --hours N only the first N hours of each
+      month run (the default budget is scaled to match); --cap-schedule
+      derate:D applies an afternoon-peaked thermal derating of depth D
+      to every site's power cap. --json FILE writes per-sample JSONL
+      plus a summary line; --quiet prints one machine-friendly line
+      (P50 P95 P99 violation-probability digest).
 
   billcap analyze-trace FILE [--flame OUT] [--top N]
       Reconstruct the span tree from a JSONL trace and print a profile:
@@ -144,6 +164,7 @@ fn run(tokens: Vec<String>) -> Result<(), String> {
     match command {
         Some("decide-hour") => decide_hour(&args).map_err(stringify),
         Some("simulate-month") => simulate_month(&args).map_err(stringify),
+        Some("simulate-risk") => simulate_risk(&args).map_err(stringify),
         Some("derive-policies") => derive_policies(&args).map_err(stringify),
         Some("export-trace") => export_trace(&args).map_err(stringify),
         Some("analyze-trace") => analyze_trace(&args).map_err(stringify),
@@ -380,6 +401,86 @@ fn simulate_month(args: &Args) -> Result<(), ArgError> {
                 a.failures.join("; ")
             )));
         }
+    }
+    Ok(())
+}
+
+fn simulate_risk(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&[
+        "samples",
+        "seed",
+        "threads",
+        "cap-schedule",
+        "hours",
+        "budget",
+        "uncapped",
+        "policy",
+        "audit",
+        "json",
+        "quiet",
+    ])?;
+    let samples: usize = args.get_or("samples", 100)?;
+    if samples == 0 {
+        return Err(ArgError("--samples must be at least 1".into()));
+    }
+    let root_seed: u64 = args.get_or("seed", 42)?;
+    let threads: usize = args.get_or("threads", 0)?;
+    let hours: usize = args.get_or("hours", 0)?;
+    if hours > 30 * 24 {
+        return Err(ArgError(format!("--hours must be in 0..={}", 30 * 24)));
+    }
+    let schedule =
+        ScheduleSpec::parse(args.get("cap-schedule").unwrap_or("none")).map_err(ArgError)?;
+    // The default budget covers the simulated horizon: the full-month
+    // stringent budget, pro-rated when --hours truncates the run.
+    let horizon_frac = if hours == 0 {
+        1.0
+    } else {
+        hours as f64 / (30.0 * 24.0)
+    };
+    let monthly_budget = if args.has("uncapped") {
+        if args.get("budget").is_some() {
+            return Err(ArgError("--budget and --uncapped are exclusive".into()));
+        }
+        None
+    } else {
+        Some(args.get_or("budget", Scenario::STRINGENT_BUDGET * horizon_frac)?)
+    };
+    let config = RiskConfig {
+        samples,
+        root_seed,
+        threads,
+        policy: policy_arg(args)?,
+        hours,
+        monthly_budget,
+        schedule,
+        audit: args.has("audit") || audit_env_enabled(),
+        ..RiskConfig::default()
+    };
+    let (sample_results, summary) = RiskEngine::new(config)
+        .run()
+        .map_err(|e| ArgError(e.to_string()))?;
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, to_jsonl(&sample_results, &summary))
+            .map_err(|e| ArgError(format!("writing {path:?}: {e}")))?;
+        if !args.has("quiet") {
+            eprintln!("per-sample JSONL written to {path}");
+        }
+    }
+    if args.has("quiet") {
+        // Machine-friendly: bill quantiles, violation probability, and
+        // the bitwise digest (what the CI determinism smoke compares).
+        println!(
+            "{:.2} {:.2} {:.2} {:.4} {}",
+            summary.bill.p50,
+            summary.bill.p95,
+            summary.bill.p99,
+            summary.violation_probability,
+            summary.digest()
+        );
+    } else {
+        print!("{}", summary.render_table());
+        println!("digest: {}", summary.digest());
     }
     Ok(())
 }
@@ -845,6 +946,7 @@ mod tests {
         for cmd in [
             "decide-hour --offered 6e8 --budget 1e9 --bogus 1",
             "simulate-month --quiet --bogus 1",
+            "simulate-risk --quiet --bogus 1",
             "derive-policies --bogus 1",
             "export-trace --bogus 1",
             "analyze-trace x.jsonl --bogus 1",
@@ -991,6 +1093,34 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.contains("work metric"), "{err}");
+    }
+
+    #[test]
+    fn simulate_risk_validation() {
+        assert!(run_str("simulate-risk --samples 0").is_err());
+        assert!(run_str("simulate-risk --hours 999999").is_err());
+        assert!(run_str("simulate-risk --cap-schedule bogus").is_err());
+        assert!(run_str("simulate-risk --cap-schedule derate:2.0").is_err());
+        assert!(run_str("simulate-risk --budget 1e6 --uncapped").is_err());
+        assert!(run_str("simulate-risk --policy 9").is_err());
+    }
+
+    #[test]
+    fn simulate_risk_writes_jsonl() {
+        let dir = std::env::temp_dir().join("billcap_cli_risk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("risk.jsonl");
+        assert!(run_str(&format!(
+            "simulate-risk --samples 2 --hours 24 --threads 2 --quiet --json {}",
+            path.display()
+        ))
+        .is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // 2 samples + 1 summary
+        let last = billcap_obs::json::Value::parse(lines[2]).unwrap();
+        assert_eq!(last.get("kind").unwrap().as_str(), Some("summary"));
+        assert!(last.get("digest").is_some());
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //! * the `budget` row RHS.
 //!
 //! When a background change moves a site across a breakpoint the kept
-//! level set changes, and the engine rebuilds that step's model from
-//! scratch — structure is never patched in place.
+//! level set changes, and the engine switches to a model built for that
+//! key — structure is never patched in place. Built models are retained
+//! in a small per-step cache keyed by (kept levels, cap bit patterns):
+//! a diurnal background revisits the same few kept sets over and over,
+//! so after the first day a month-long run stops rebuilding entirely
+//! instead of rebuilding at every breakpoint crossing.
 //!
 //! **Bitwise contract:** with basis reuse off (the default), every
 //! decision is bit-for-bit identical to [`crate::BillCapper::decide_hour`]
@@ -40,14 +44,36 @@ use billcap_milp::{
 };
 
 /// One retained step model: the incremental wrapper, the variable
-/// handles, and the kept-level key its structure was built for.
+/// handles, and the key its structure was built for.
 struct StepModel {
     im: IncrementalModel,
     vars: PiecewiseVars,
     /// Kept price-level indices per site — the structural key. When the
-    /// hour's key differs the model is rebuilt, never patched.
+    /// hour's key differs the engine switches models, never patches
+    /// structure.
     kept: Vec<Vec<usize>>,
+    /// Per-site power caps (bit patterns) the model was built for. Caps
+    /// reach deep into the build — `λ` upper bounds, `q` upper bounds,
+    /// `cap_i` RHS, level pruning — so a cap change (a
+    /// [`crate::CapSchedule`] hour) selects a different cache entry
+    /// rather than patching values, keeping every served model
+    /// bitwise-identical to a fresh build by construction.
+    caps: Vec<u64>,
+    /// `(lvl_hi, lvl_lo)` row indices per `(site, kept slot)`, resolved
+    /// once at build time so the per-hour coefficient sync skips the
+    /// name formatting and hash lookups.
+    lvl_rows: Vec<Vec<(usize, usize)>>,
+    /// LRU stamp for cache eviction.
+    last_used: u64,
 }
+
+/// Retained models per step, capped at this many distinct
+/// (kept, caps) keys; least-recently-used entries are evicted. A
+/// diurnal background cycles through a dozen-odd kept-set phases (each
+/// site crosses a few breakpoints up and back per day), so 24 keeps a
+/// steady month fully resident, while still bounding memory when a cap
+/// schedule mints a new caps key every hour.
+const STEP_CACHE_CAP: usize = 24;
 
 /// The retained solver state behind a [`DecisionEngine`]; implements
 /// [`HourBackend`] so [`decide_hour_impl`] drives it exactly like the
@@ -58,8 +84,10 @@ struct EngineCore {
     /// in the demand RHS).
     min_solver: IncrementalSolver,
     max_solver: IncrementalSolver,
-    cost_min: Option<StepModel>,
-    thru_max: Option<StepModel>,
+    cost_min: Vec<StepModel>,
+    thru_max: Vec<StepModel>,
+    /// Monotonic use counter driving the caches' LRU eviction.
+    stamp: u64,
 }
 
 /// A [`crate::BillCapper`] that keeps its MILPs (and optionally their
@@ -80,8 +108,9 @@ impl DecisionEngine {
                 integral_servers: config.integral_servers,
                 min_solver: IncrementalSolver::new(MipSolver::default()),
                 max_solver: IncrementalSolver::new(MipSolver::default()),
-                cost_min: None,
-                thru_max: None,
+                cost_min: Vec::new(),
+                thru_max: Vec::new(),
+                stamp: 0,
             },
         }
     }
@@ -106,6 +135,32 @@ impl DecisionEngine {
     /// Whether root-basis carry-over is enabled.
     pub fn reuse_basis(&self) -> bool {
         self.core.min_solver.reuse_basis
+    }
+
+    /// Re-caps every site for the next decisions (a
+    /// [`crate::CapSchedule`] hour). The retained models are keyed on
+    /// the cap vector, so the next [`Self::decide_hour`] switches
+    /// models exactly when a cap actually moved — a schedule that
+    /// revisits a previous cap vector reuses that vector's cached
+    /// model. Decisions stay independent of cap history either way:
+    /// every hour-dependent value in a cached model is rewritten before
+    /// each solve, so a served model is bitwise-identical to a fresh
+    /// build for the current inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `caps.len()` differs from the system's site count.
+    pub fn set_site_caps(&mut self, caps: &[f64]) {
+        assert_eq!(
+            caps.len(),
+            self.system.sites.len(),
+            "got {} caps for {} sites",
+            caps.len(),
+            self.system.sites.len()
+        );
+        for (site, &cap) in self.system.sites.iter_mut().zip(caps) {
+            site.power_cap_mw = cap;
+        }
     }
 
     /// Decides one hour's allocation. Same contract as
@@ -146,37 +201,102 @@ impl EngineCore {
             .collect()
     }
 
+    /// The per-site cap bit patterns the models must have been built
+    /// for. Bit equality (not `==` on floats) so that a NaN-poisoned
+    /// spec still compares deterministically.
+    fn caps_key(system: &DataCenterSystem) -> Vec<u64> {
+        system
+            .sites
+            .iter()
+            .map(|s| s.power_cap_mw.to_bits())
+            .collect()
+    }
+
     /// Rewrites the interval-row `z` coefficients of `step` to this
     /// hour's values. Only called when the kept key matches, so every
-    /// `(site, slot)` pair lines up with a retained `(q, z)` pair.
+    /// `(site, slot)` pair lines up with a retained `(q, z)` pair and a
+    /// pre-resolved `(lvl_hi, lvl_lo)` row pair.
     fn sync_levels(step: &mut StepModel, params: &[Vec<LevelParam>]) -> Result<(), CoreError> {
         for (i, site_params) in params.iter().enumerate() {
-            for (p, &(_, _, _, z)) in site_params.iter().zip(&step.vars.levels[i]) {
-                let k = p.k;
-                step.im
-                    .set_coeff(&format!("lvl_hi_{i}_{k}"), z, p.zcoef_hi)?;
-                step.im
-                    .set_coeff(&format!("lvl_lo_{i}_{k}"), z, p.zcoef_lo)?;
+            let slots = step.vars.levels[i].iter().zip(&step.lvl_rows[i]);
+            for (p, (&(_, _, _, z), &(hi, lo))) in site_params.iter().zip(slots) {
+                step.im.set_coeff_at(hi, z, p.zcoef_hi)?;
+                step.im.set_coeff_at(lo, z, p.zcoef_lo)?;
             }
         }
         Ok(())
     }
 
-    /// Ensures the step-1/3 model exists and matches this hour's kept
-    /// key, rebuilding from scratch otherwise. The rebuild mirrors
-    /// [`crate::CostMinimizer::solve`] exactly (same construction
-    /// order), with the demand RHS left for the caller to set.
+    /// Resolves the `(lvl_hi, lvl_lo)` row indices of a freshly built
+    /// step model, one pair per `(site, kept slot)`.
+    fn resolve_level_rows(im: &IncrementalModel, vars: &PiecewiseVars) -> Vec<Vec<(usize, usize)>> {
+        vars.levels
+            .iter()
+            .enumerate()
+            .map(|(i, levels)| {
+                levels
+                    .iter()
+                    .map(|&(k, _, _, _)| {
+                        let hi = im.row(&format!("lvl_hi_{i}_{k}"));
+                        let lo = im.row(&format!("lvl_lo_{i}_{k}"));
+                        match (hi, lo) {
+                            (Some(hi), Some(lo)) => (hi, lo),
+                            _ => unreachable!("interval rows created by the build above"),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Returns the cache index of the entry matching `(kept, caps)`,
+    /// refreshing its LRU stamp, or `None` on a miss.
+    fn cache_lookup(
+        cache: &mut [StepModel],
+        kept: &[Vec<usize>],
+        caps: &[u64],
+        stamp: u64,
+    ) -> Option<usize> {
+        let idx = cache
+            .iter()
+            .position(|s| s.kept == kept && s.caps == caps)?;
+        cache[idx].last_used = stamp;
+        Some(idx)
+    }
+
+    /// Inserts a freshly built model, evicting the least-recently-used
+    /// entry when the cache is full, and returns its index.
+    fn cache_insert(cache: &mut Vec<StepModel>, entry: StepModel) -> usize {
+        if cache.len() >= STEP_CACHE_CAP {
+            let evict = cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            cache.swap_remove(evict);
+        }
+        cache.push(entry);
+        cache.len() - 1
+    }
+
+    /// Ensures a step-1/3 model for this hour's key is cached and
+    /// returns its index, building from scratch on a miss. The build
+    /// mirrors [`crate::CostMinimizer::solve`] exactly (same
+    /// construction order), with the demand RHS left for the caller to
+    /// set.
     fn ensure_cost_min(
         &mut self,
         system: &DataCenterSystem,
         background_mw: &[f64],
         kept: &[Vec<usize>],
-    ) -> Result<(), CoreError> {
-        if let Some(step) = &self.cost_min {
-            if step.kept == kept {
-                return Ok(());
-            }
+        caps: &[u64],
+    ) -> Result<usize, CoreError> {
+        self.stamp += 1;
+        if let Some(idx) = Self::cache_lookup(&mut self.cost_min, kept, caps, self.stamp) {
+            return Ok(idx);
         }
+        record_rebuild();
         let mut m = Model::new("cost_min", Sense::Minimize);
         let vars = build_piecewise_core(&mut m, system, background_mw, self.integral_servers);
         m.add_constraint(
@@ -192,12 +312,19 @@ impl EngineCore {
             .map(|&(_, r, q, _)| (q, r))
             .collect();
         m.set_objective(obj, 0.0);
-        self.cost_min = Some(StepModel {
-            im: IncrementalModel::new(m)?,
-            vars,
-            kept: kept.to_vec(),
-        });
-        Ok(())
+        let im = IncrementalModel::new(m)?;
+        let lvl_rows = Self::resolve_level_rows(&im, &vars);
+        Ok(Self::cache_insert(
+            &mut self.cost_min,
+            StepModel {
+                im,
+                vars,
+                kept: kept.to_vec(),
+                caps: caps.to_vec(),
+                lvl_rows,
+                last_used: self.stamp,
+            },
+        ))
     }
 
     /// Step-2 analogue of [`Self::ensure_cost_min`], mirroring
@@ -208,12 +335,13 @@ impl EngineCore {
         system: &DataCenterSystem,
         background_mw: &[f64],
         kept: &[Vec<usize>],
-    ) -> Result<(), CoreError> {
-        if let Some(step) = &self.thru_max {
-            if step.kept == kept {
-                return Ok(());
-            }
+        caps: &[u64],
+    ) -> Result<usize, CoreError> {
+        self.stamp += 1;
+        if let Some(idx) = Self::cache_lookup(&mut self.thru_max, kept, caps, self.stamp) {
+            return Ok(idx);
         }
+        record_rebuild();
         let mut m = Model::new("throughput_max", Sense::Maximize);
         let vars = build_piecewise_core(&mut m, system, background_mw, self.integral_servers);
         m.add_constraint(
@@ -230,12 +358,30 @@ impl EngineCore {
             .collect();
         m.add_constraint("budget", cost_terms, ConstraintOp::Le, 0.0);
         m.set_objective(vars.lam.iter().map(|&v| (v, 1.0)).collect(), 0.0);
-        self.thru_max = Some(StepModel {
-            im: IncrementalModel::new(m)?,
-            vars,
-            kept: kept.to_vec(),
-        });
-        Ok(())
+        let im = IncrementalModel::new(m)?;
+        let lvl_rows = Self::resolve_level_rows(&im, &vars);
+        Ok(Self::cache_insert(
+            &mut self.thru_max,
+            StepModel {
+                im,
+                vars,
+                kept: kept.to_vec(),
+                caps: caps.to_vec(),
+                lvl_rows,
+                last_used: self.stamp,
+            },
+        ))
+    }
+}
+
+/// Counts full model builds (cache misses on the (kept, caps) key).
+/// The counter is the deterministic work metric the perf gate tracks
+/// for the scratch-reuse refactor: on a flat-cap month it stays near
+/// the number of *distinct* kept-level sets the background visits —
+/// a handful — far below `2 × hours`.
+fn record_rebuild() {
+    if billcap_obs::enabled() {
+        billcap_obs::counter("core.engine.rebuilds", 1);
     }
 }
 
@@ -261,8 +407,9 @@ impl HourBackend for EngineCore {
         }
         let params = Self::level_params(system, background_mw);
         let kept = Self::kept_key(&params);
-        self.ensure_cost_min(system, background_mw, &kept)?;
-        let step = self.cost_min.as_mut().expect("ensured above"); // repolint-allow(unwrap): ensure_cost_min always fills the slot
+        let caps = Self::caps_key(system);
+        let idx = self.ensure_cost_min(system, background_mw, &kept, &caps)?;
+        let step = &mut self.cost_min[idx];
         Self::sync_levels(step, &params)?;
         step.im.set_rhs("demand", lambda / RATE_SCALE)?;
         crate::speclint::lint_model_if_enabled(step.im.model())?;
@@ -286,8 +433,9 @@ impl HourBackend for EngineCore {
         }
         let params = Self::level_params(system, background_mw);
         let kept = Self::kept_key(&params);
-        self.ensure_thru_max(system, background_mw, &kept)?;
-        let step = self.thru_max.as_mut().expect("ensured above"); // repolint-allow(unwrap): ensure_thru_max always fills the slot
+        let caps = Self::caps_key(system);
+        let idx = self.ensure_thru_max(system, background_mw, &kept, &caps)?;
+        let step = &mut self.thru_max[idx];
         Self::sync_levels(step, &params)?;
         step.im.set_rhs("offered", lambda / RATE_SCALE)?;
         step.im.set_rhs("budget", budget.max(0.0))?;
@@ -453,6 +601,65 @@ mod tests {
                     <= 1e-6 * fresh.allocation.total_lambda.max(1.0)
             );
         }
+    }
+
+    #[test]
+    fn engine_matches_fresh_capper_under_a_cap_schedule() {
+        use crate::capsched::CapSchedule;
+        let sys = DataCenterSystem::paper_system(1);
+        let base_caps: Vec<f64> = sys.sites.iter().map(|s| s.power_cap_mw).collect();
+        let sched = CapSchedule::derating(&base_caps, 24, 0.35, 42);
+        let capper = BillCapper::default();
+        let mut engine = DecisionEngine::new(sys.clone(), CapperConfig::default());
+        for (h, (offered, premium, background, budget)) in sweep(&sys).into_iter().enumerate() {
+            // Fresh path: mutate a working copy of the spec.
+            let mut capped = sys.clone();
+            sched.apply(&mut capped, h);
+            let fresh = capper
+                .decide_hour(&capped, offered, premium, &background, budget)
+                .unwrap();
+            // Engine path: re-cap in place; models rebuild on the key.
+            engine.set_site_caps(sched.caps_at(h));
+            let served = engine
+                .decide_hour(offered, premium, &background, budget)
+                .unwrap();
+            assert_decisions_bitwise_equal(&served, &fresh, &format!("capped hour {h}"));
+        }
+    }
+
+    #[test]
+    fn cap_change_actually_changes_the_decision() {
+        let sys = DataCenterSystem::paper_system(1);
+        let mut engine = DecisionEngine::new(sys.clone(), CapperConfig::default());
+        let background = vec![330.0, 410.0, 280.0];
+        let before = engine
+            .decide_hour(7e8, 4.2e8, &background, f64::INFINITY)
+            .unwrap();
+        // Squeeze the most-loaded site hard; the allocation must shift.
+        let loaded = before
+            .allocation
+            .lambda
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut caps: Vec<f64> = sys.sites.iter().map(|s| s.power_cap_mw).collect();
+        caps[loaded] *= 0.25;
+        engine.set_site_caps(&caps);
+        let after = engine
+            .decide_hour(7e8, 4.2e8, &background, f64::INFINITY)
+            .unwrap();
+        assert_ne!(
+            before.allocation.lambda, after.allocation.lambda,
+            "a 4x cap squeeze must move traffic"
+        );
+        // And restoring the caps restores the original decision bitwise.
+        engine.set_site_caps(&sys.sites.iter().map(|s| s.power_cap_mw).collect::<Vec<_>>());
+        let restored = engine
+            .decide_hour(7e8, 4.2e8, &background, f64::INFINITY)
+            .unwrap();
+        assert_decisions_bitwise_equal(&restored, &before, "restored caps");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod audit;
 pub mod baselines;
 pub mod cache;
 pub mod capper;
+pub mod capsched;
 pub mod engine;
 pub mod error;
 pub mod evaluate;
@@ -72,6 +73,7 @@ pub use audit::{audit_env_enabled, AuditReport, PlanAuditor, PlanViolation};
 pub use baselines::{MinOnly, PriceAssumption};
 pub use cache::{system_fingerprint, DecisionCache, DecisionKey};
 pub use capper::{BillCapper, CapperConfig, DecisionTrace, HourDecision, HourOutcome};
+pub use capsched::CapSchedule;
 pub use engine::DecisionEngine;
 pub use error::CoreError;
 pub use evaluate::{evaluate_allocation, RealizedCost};
@@ -81,5 +83,6 @@ pub use minimize::{Allocation, CostMinimizer};
 pub use priority::{ClassDecision, PriorityClass};
 pub use spec::{DataCenterSpec, DataCenterSystem};
 pub use speclint::{
-    lint_budget_weights, lint_env_mode, lint_premium_fraction, lint_system, LintMode, SpecReport,
+    lint_budget_weights, lint_cap_schedule, lint_env_mode, lint_premium_fraction, lint_system,
+    LintMode, SpecReport,
 };

@@ -191,6 +191,18 @@ impl IncrementalModel {
         self.model.set_constraint_coeff(idx, v, coeff)
     }
 
+    /// [`Self::set_coeff`] by row index (see [`Self::row`]) — the
+    /// hot-loop variant that skips the name lookup. Same contract: the
+    /// term must already exist.
+    pub fn set_coeff_at(&mut self, idx: usize, v: VarId, coeff: f64) -> Result<(), SolveError> {
+        if !coeff.is_finite() {
+            return Err(SolveError::InvalidModel(format!(
+                "non-finite coefficient {coeff} for row #{idx}"
+            )));
+        }
+        self.model.set_constraint_coeff(idx, v, coeff)
+    }
+
     /// Replaces the objective coefficient of `v` (term must exist).
     pub fn set_objective_coeff(&mut self, v: VarId, coeff: f64) -> Result<(), SolveError> {
         if !coeff.is_finite() {

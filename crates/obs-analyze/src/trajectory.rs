@@ -46,6 +46,11 @@ pub struct TraceAggregates {
     pub step2_total_ns: u64,
     /// Total wall ns in MILP solve spans under step 1.
     pub mip_total_ns: u64,
+    /// Retained-model rebuilds in the decision engine (`core.engine.
+    /// rebuilds`). The allocation-reuse contract keeps this far below
+    /// the hour count; a jump means cap/level keys are churning and
+    /// models are being rebuilt per hour again.
+    pub engine_rebuilds: u64,
 }
 
 impl TraceAggregates {
@@ -64,6 +69,11 @@ impl TraceAggregates {
             step1_total_ns: span_total("hour/step1"),
             step2_total_ns: span_total("hour/step2"),
             mip_total_ns: span_total("hour/step1/mip"),
+            engine_rebuilds: snap
+                .counters
+                .get("core.engine.rebuilds")
+                .copied()
+                .unwrap_or(0),
         }
     }
 }
@@ -106,7 +116,9 @@ pub struct BenchTrajectory {
 }
 
 /// Current schema version written by [`BenchTrajectory::render_json`].
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added `aggregates.engine_rebuilds` (the retained-model rebuild
+/// counter recorded by the allocation-reuse hot path).
+pub const SCHEMA_VERSION: u64 = 2;
 
 fn err(message: impl Into<String>) -> JsonError {
     JsonError {
@@ -190,6 +202,7 @@ impl BenchTrajectory {
                     ("step1_total_ns", Value::Int(a.step1_total_ns as i64)),
                     ("step2_total_ns", Value::Int(a.step2_total_ns as i64)),
                     ("mip_total_ns", Value::Int(a.mip_total_ns as i64)),
+                    ("engine_rebuilds", Value::Int(a.engine_rebuilds as i64)),
                 ]),
             ),
         ]);
@@ -265,6 +278,7 @@ impl BenchTrajectory {
                 step1_total_ns: get_u64(a, "step1_total_ns")?,
                 step2_total_ns: get_u64(a, "step2_total_ns")?,
                 mip_total_ns: get_u64(a, "mip_total_ns")?,
+                engine_rebuilds: get_u64(a, "engine_rebuilds")?,
             },
         })
     }
@@ -379,6 +393,14 @@ pub fn gate(base: &BenchTrajectory, cur: &BenchTrajectory, cfg: &GateConfig) -> 
         ab.hours as f64,
         ac.hours as f64,
     );
+    push(
+        &mut report,
+        &dc,
+        MetricKind::Counter,
+        "aggregates.engine_rebuilds",
+        ab.engine_rebuilds as f64,
+        ac.engine_rebuilds as f64,
+    );
     for (name, b, c) in [
         (
             "aggregates.hour_total_ns",
@@ -447,6 +469,7 @@ mod tests {
                 step1_total_ns: 1_100_000_000,
                 step2_total_ns: 300_000_000,
                 mip_total_ns: 900_000_000,
+                engine_rebuilds: 12,
             },
         }
     }
@@ -512,6 +535,7 @@ mod tests {
         snap.counters.insert("sim.hours".into(), 168);
         snap.counters.insert("milp.bnb.nodes".into(), 123);
         snap.counters.insert("milp.lp.iterations".into(), 456);
+        snap.counters.insert("core.engine.rebuilds".into(), 7);
         snap.spans.insert(
             "hour".into(),
             billcap_obs::SpanStats {
@@ -527,5 +551,6 @@ mod tests {
         assert_eq!(a.lp_iterations, 456);
         assert_eq!(a.hour_total_ns, 99);
         assert_eq!(a.step1_total_ns, 0);
+        assert_eq!(a.engine_rebuilds, 7);
     }
 }

@@ -15,6 +15,11 @@
 //!   worker counts, panics and trace merging stay managed.
 //! * `forbid-unsafe` — every crate root carries
 //!   `#![forbid(unsafe_code)]`.
+//! * `hot-alloc` — no `Vec::new()` / `vec![` inside a region marked
+//!   `// repolint-hot-start(label)` … `// repolint-hot-end`. Hot
+//!   regions are per-hour simulation loops that run hundreds of
+//!   thousands of times per Monte-Carlo run; allocations there belong
+//!   in a reusable scratch (see `MonthScratch` in `billcap-sim`).
 //!
 //! Test code (`#[cfg(test)]` items, tracked by brace depth) is exempt
 //! from the first three rules. A deliberate exception is waived with a
@@ -179,6 +184,9 @@ struct CodeLine {
     waived: Vec<String>,
     /// Whether the line is inside a `#[cfg(test)]` item.
     in_test: bool,
+    /// Whether the line is inside a `repolint-hot-start` … `-hot-end`
+    /// region (marker lines inclusive).
+    hot: bool,
 }
 
 fn check_file(
@@ -218,6 +226,13 @@ fn check_file(
                 "raw thread outside billcap-rt; use the runtime crate's scoped pools",
             );
         }
+        if line.hot && (line.code.contains("Vec::new()") || line.code.contains("vec![")) {
+            report(
+                "hot-alloc",
+                "allocation inside a marked hot loop; hoist it into a reusable \
+                 scratch buffer (see MonthScratch) or waive with a reason",
+            );
+        }
     }
 }
 
@@ -234,9 +249,14 @@ fn lex(text: &str) -> Vec<CodeLine> {
     let mut pending_test = false;
     let mut in_block_comment = false;
     let mut prev_waivers: Vec<String> = Vec::new();
+    // While true, lines are inside a `repolint-hot-start` region.
+    let mut in_hot = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let in_test_at_start = test_until.is_some();
+        let hot_at_start = in_hot;
+        let mut hot_started = false;
+        let mut hot_ended = false;
         let mut code = String::new();
         let mut waivers = prev_waivers.clone();
         let mut chars = raw.chars().peekable();
@@ -250,13 +270,24 @@ fn lex(text: &str) -> Vec<CodeLine> {
             }
             match c {
                 '/' if chars.peek() == Some(&'/') => {
-                    // Line comment: scan it for waiver directives, drop the rest.
+                    // Line comment: scan it for waiver and hot-region
+                    // directives, drop the rest.
                     let comment: String = chars.collect();
                     if let Some(pos) = comment.find("repolint-allow(") {
                         let tail = &comment[pos + "repolint-allow(".len()..];
                         if let Some(end) = tail.find(')') {
                             waivers.push(tail[..end].trim().to_string());
                         }
+                    }
+                    // Region directives must *lead* the comment, so prose
+                    // that merely mentions them (like this file's docs)
+                    // stays inert.
+                    let directive = comment.trim_start_matches(['/', '!']).trim_start();
+                    if directive.starts_with("repolint-hot-start") {
+                        hot_started = true;
+                    }
+                    if directive.starts_with("repolint-hot-end") {
+                        hot_ended = true;
                     }
                     break;
                 }
@@ -339,11 +370,23 @@ fn lex(text: &str) -> Vec<CodeLine> {
             Vec::new()
         };
 
+        // Hot-region markers take effect on their own line too: a start
+        // marker trailing code marks that line hot, an end marker's line
+        // is still inside the region.
+        if hot_started {
+            in_hot = true;
+        }
+        let hot = hot_at_start || in_hot;
+        if hot_ended {
+            in_hot = false;
+        }
+
         out.push(CodeLine {
             number: idx + 1,
             code,
             waived: waivers,
             in_test: in_test_at_start || test_until.is_some() || touched_test,
+            hot,
         });
     }
     out
@@ -425,6 +468,40 @@ mod tests { fn t() { y.unwrap(); Instant::now(); thread::spawn(g); } }
             }
         }
         assert_eq!(depth, 0, "{:?}", ls[0].1);
+    }
+
+    #[test]
+    fn hot_regions_flag_allocations() {
+        let src = "\
+fn cold() { let a = Vec::new(); }
+// repolint-hot-start(hour loop)
+fn hot() {
+    let b = Vec::new();
+    let c = vec![1, 2];
+    // repolint-allow(hot-alloc): filled once, reused after
+    let d = vec![0.0; n];
+}
+// repolint-hot-end
+fn cold_again() { let e = vec![3]; }
+";
+        let mut v = Vec::new();
+        check_file("f.rs", src, false, false, false, &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(
+            v[0].contains("f.rs:4:") && v[0].contains("hot-alloc"),
+            "{v:?}"
+        );
+        assert!(v[1].contains("f.rs:5:"), "{v:?}");
+    }
+
+    #[test]
+    fn hot_markers_in_strings_are_inert() {
+        // The directive only counts inside comments: a string literal
+        // mentioning the marker must not open a region.
+        let src = "let s = \"repolint-hot-start\";\nlet v = Vec::new();\n";
+        let mut v = Vec::new();
+        check_file("f.rs", src, false, false, false, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod rng;
 
 pub use bench::{BenchConfig, BenchResult, Harness};
 pub use pool::{
-    num_threads, par_map, par_map_threads, run_workers, try_par_map, try_par_map_threads,
+    num_threads, par_map, par_map_init_threads, par_map_threads, run_workers, try_par_map,
+    try_par_map_init_threads, try_par_map_threads,
 };
-pub use rng::{FromRng, Rng, SplitMix64, Xoshiro256pp};
+pub use rng::{FromRng, Rng, SeedStream, SplitMix64, Xoshiro256pp};

@@ -162,6 +162,90 @@ where
     try_par_map_threads(items, num_threads(), f)
 }
 
+/// [`par_map_threads`] with reusable per-worker state: each worker calls
+/// `init()` once and threads the resulting scratch value through every
+/// item it claims. The per-item closure therefore takes `&mut S`, which
+/// plain [`par_map_threads`] cannot offer (its closure is `Fn`).
+///
+/// Results are in input order, so as long as each item's output depends
+/// only on the item (the scratch being a pure accelerator — buffers,
+/// warm models — whose contents never leak into results), the returned
+/// vector is identical at every thread count.
+pub fn par_map_init_threads<T, U, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    match try_par_map_init_threads(items, threads, init, |s, item| Ok::<U, Never>(f(s, item))) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible [`par_map_init_threads`]. Error selection matches
+/// [`try_par_map_threads`]: the failing item with the smallest index
+/// wins, so the outcome is what a sequential loop stopping at the first
+/// error would report.
+pub fn try_par_map_init_threads<T, U, S, E, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> Result<U, E> + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let first_error_idx = AtomicUsize::new(usize::MAX);
+    let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+
+    run_workers(threads, |_| {
+        let mut state = init();
+        let mut local: Vec<(usize, U)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= items.len() || i > first_error_idx.load(Ordering::Acquire) {
+                break;
+            }
+            match f(&mut state, &items[i]) {
+                Ok(v) => local.push((i, v)),
+                Err(e) => {
+                    first_error_idx.fetch_min(i, Ordering::AcqRel);
+                    let mut slot = error.lock().unwrap_or_else(PoisonError::into_inner);
+                    if slot.as_ref().map(|(j, _)| i < *j).unwrap_or(true) {
+                        *slot = Some((i, e));
+                    }
+                }
+            }
+        }
+        results
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend(local);
+    });
+
+    if let Some((_, e)) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        return Err(e);
+    }
+    let mut collected = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(collected.len(), items.len());
+    Ok(collected.into_iter().map(|(_, v)| v).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +311,55 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn init_map_reuses_state_and_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 4, 9] {
+            // The scratch counts items seen by this worker; results must
+            // not depend on it, and the order must match the input.
+            let out = par_map_init_threads(
+                &items,
+                threads,
+                || 0u64,
+                |seen, &x| {
+                    *seen += 1;
+                    assert!(*seen >= 1);
+                    x * 2
+                },
+            );
+            let expect: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn init_map_error_is_earliest_failing_index() {
+        let items: Vec<usize> = (0..80).collect();
+        for threads in [1, 3, 8] {
+            let r: Result<Vec<usize>, usize> = try_par_map_init_threads(
+                &items,
+                threads,
+                || (),
+                |(), &x| if x % 11 == 5 { Err(x) } else { Ok(x) },
+            );
+            assert_eq!(r.unwrap_err(), 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn init_runs_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u32> = (0..64).collect();
+        let inits = AtomicUsize::new(0);
+        let _ = par_map_init_threads(
+            &items,
+            4,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, &x| x,
+        );
+        assert!(inits.load(Ordering::Relaxed) <= 4);
     }
 
     #[test]

@@ -11,8 +11,13 @@
 //!   pricing policies, two months of workload (history + evaluation),
 //!   background demand, 80/20 premium split, and the $-budget family.
 //! * [`runner`] — the hour loop: budgeter → capper (or baseline) →
-//!   realized billing → metrics.
+//!   realized billing → metrics. Two interchangeable implementations:
+//!   the scratch-reuse production loop and the fresh-allocation
+//!   reference oracle, bitwise-identical by contract.
 //! * [`metrics`] — per-hour records and monthly aggregates.
+//! * [`risk`] — the Monte-Carlo risk engine: N perturbed-seed month
+//!   simulations fanned across the worker pool, aggregated into
+//!   P50/P95/P99 bill and violation distributions.
 //! * [`experiments`] — `fig1` … `fig10`, `solver_scaling`, and the
 //!   ablation studies; each returns structured data and renders the same
 //!   rows/series the paper reports.
@@ -25,10 +30,14 @@
 pub mod experiments;
 pub mod export;
 pub mod metrics;
+pub mod risk;
 pub mod runner;
 pub mod scenario;
 pub mod table;
 
-pub use metrics::{HourAudit, HourRecord, HourTrace, MonthlyReport};
-pub use runner::{run_month, run_month_with, Strategy};
+pub use metrics::{stable_sum, HourAudit, HourRecord, HourTrace, MonthlyReport};
+pub use risk::{RiskConfig, RiskEngine, RiskSample, RiskSummary, ScheduleSpec};
+pub use runner::{
+    run_month, run_month_fresh, run_month_scratch, run_month_with, MonthScratch, Strategy,
+};
 pub use scenario::Scenario;

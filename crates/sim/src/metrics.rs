@@ -2,6 +2,34 @@
 
 use billcap_core::{AuditReport, HourOutcome};
 
+/// Compensated (Neumaier/Kahan–Babuška) summation.
+///
+/// Every monthly aggregate and every risk-engine reduction sums through
+/// this one function, for two reasons. First, *unification*: the sim
+/// runner, the trace pipeline, and the risk engine used to (or could)
+/// re-derive totals independently; routing them through
+/// [`MonthlyReport`]'s accessors — which all call this — keeps one
+/// definition of "the monthly bill". Second, *stability*: compensation
+/// makes the result far less sensitive to magnitude disparities, and —
+/// because inputs always arrive in index order (the worker pool returns
+/// results in input order at every thread count) — the exact same
+/// floating-point operations run regardless of `BILLCAP_THREADS`,
+/// which is what makes risk summaries bitwise-reproducible.
+pub fn stable_sum<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64; // running compensation for lost low-order bits
+    for x in values {
+        let t = sum + x;
+        comp += if sum.abs() >= x.abs() {
+            (sum - t) + x
+        } else {
+            (x - t) + sum
+        };
+        sum = t;
+    }
+    sum + comp
+}
+
 /// Outcome of the per-hour plan audit, kept as plain data so records stay
 /// cheap to clone and compare. `None` on an [`HourRecord`] means the hour
 /// was not audited (baselines, or auditing off).
@@ -101,37 +129,50 @@ pub struct MonthlyReport {
 }
 
 impl MonthlyReport {
-    /// Total realized electricity bill ($).
+    /// Total realized electricity bill ($). The *single* derivation of
+    /// the monthly bill: the runner, the trace pipeline, and the risk
+    /// engine all read this accessor (compensated summation, see
+    /// [`stable_sum`]) rather than re-summing hour records themselves.
     pub fn total_cost(&self) -> f64 {
-        self.hours.iter().map(|h| h.realized_cost).sum()
+        stable_sum(self.hours.iter().map(|h| h.realized_cost))
     }
 
     /// Total cost the strategy believed it was incurring ($).
     pub fn total_believed_cost(&self) -> f64 {
-        self.hours.iter().map(|h| h.believed_cost).sum()
+        stable_sum(self.hours.iter().map(|h| h.believed_cost))
     }
 
     /// Served / offered for premium traffic (1.0 = all served).
     pub fn premium_throughput(&self) -> f64 {
-        let offered: f64 = self.hours.iter().map(|h| h.premium_offered).sum();
+        let offered = stable_sum(self.hours.iter().map(|h| h.premium_offered));
         if offered == 0.0 {
             return 1.0;
         }
-        self.hours.iter().map(|h| h.premium_served).sum::<f64>() / offered
+        stable_sum(self.hours.iter().map(|h| h.premium_served)) / offered
     }
 
     /// Served / offered for ordinary traffic.
     pub fn ordinary_throughput(&self) -> f64 {
-        let offered: f64 = self.hours.iter().map(|h| h.ordinary_offered).sum();
+        let offered = stable_sum(self.hours.iter().map(|h| h.ordinary_offered));
         if offered == 0.0 {
             return 1.0;
         }
-        self.hours.iter().map(|h| h.ordinary_served).sum::<f64>() / offered
+        stable_sum(self.hours.iter().map(|h| h.ordinary_served)) / offered
     }
 
     /// Total requests served over the month.
     pub fn total_served(&self) -> f64 {
-        self.hours.iter().map(HourRecord::served).sum()
+        stable_sum(self.hours.iter().map(HourRecord::served))
+    }
+
+    /// Total budget over-run across violating hours ($): how *much* the
+    /// realized bill exceeded hourly budgets, not just how often.
+    pub fn violation_magnitude(&self) -> f64 {
+        stable_sum(self.hours.iter().filter_map(|h| {
+            h.hourly_budget
+                .map(|b| (h.realized_cost - b).max(0.0))
+                .filter(|&m| m > 0.0)
+        }))
     }
 
     /// Hours whose realized cost exceeded their hourly budget.
@@ -279,6 +320,48 @@ mod tests {
         };
         assert_eq!(r.premium_throughput(), 1.0);
         assert_eq!(r.ordinary_throughput(), 1.0);
+    }
+
+    #[test]
+    fn stable_sum_matches_naive_on_small_inputs() {
+        let xs = [30.0, 50.0, 20.5];
+        assert_eq!(stable_sum(xs.iter().copied()), 100.5);
+        assert_eq!(stable_sum(std::iter::empty()), 0.0);
+        assert_eq!(stable_sum(std::iter::once(7.25)), 7.25);
+    }
+
+    #[test]
+    fn stable_sum_recovers_cancelled_bits() {
+        // Classic Neumaier case: naive summation loses the 1.0 entirely.
+        let xs = [1.0, 1e100, 1.0, -1e100];
+        assert_eq!(stable_sum(xs.iter().copied()), 2.0);
+        let naive: f64 = xs.iter().sum();
+        assert_eq!(naive, 0.0, "naive summation should lose the small terms");
+    }
+
+    #[test]
+    fn stable_sum_is_order_deterministic() {
+        // Same order in, same bits out — repeated evaluation is pure.
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64) * 0.1 + 1e12 / (i + 1) as f64)
+            .collect();
+        let a = stable_sum(xs.iter().copied());
+        let b = stable_sum(xs.iter().copied());
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn violation_magnitude_sums_overruns_only() {
+        let r = MonthlyReport {
+            strategy_name: "t".into(),
+            monthly_budget: Some(100.0),
+            hours: vec![
+                record(30.0, Some(40.0)), // under budget: no contribution
+                record(50.0, Some(40.0)), // $10 over
+                record(70.0, None),       // no budget in force
+            ],
+        };
+        assert_eq!(r.violation_magnitude(), 10.0);
     }
 
     #[test]

@@ -73,6 +73,14 @@ impl Scenario {
     pub fn background_at(&self, t: usize) -> Vec<f64> {
         self.background.iter().map(|b| b.at(t)).collect()
     }
+
+    /// [`Self::background_at`] into a caller-owned buffer — the hot-loop
+    /// variant ([`MonthScratch`](crate::MonthScratch) reuses one buffer
+    /// for a whole month instead of allocating per hour).
+    pub fn background_at_into(&self, t: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.background.iter().map(|b| b.at(t)));
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,62 @@
+//! Risk sweep: Monte-Carlo bill distributions under uncertainty, at
+//! several budgets and under a thermal cap derating.
+//!
+//! Paper anchors: Figure 9's budget-violation behavior and Figure 10's
+//! budget ladder, extended from point estimates to distributions — the
+//! question an operator actually faces is "what is the P99 bill and how
+//! often does the capper overshoot the budget", not "what happens under
+//! one seed". Each sample perturbs workload level and growth, may add an
+//! extra flash crowd, shifts background demand, and distorts the
+//! budgeting history (predictor error); the capper and the Min-Only
+//! baseline run on identical inputs per sample.
+//!
+//! Run with: `cargo run --release --example risk_sweep`
+
+use billcap::sim::risk::{RiskConfig, RiskEngine, ScheduleSpec};
+use billcap::sim::Scenario;
+
+fn main() {
+    // One simulated week per sample keeps the sweep fast; budgets are
+    // pro-rated from the paper's monthly ladder accordingly.
+    const HOURS: usize = 168;
+    const SAMPLES: usize = 16;
+    let frac = HOURS as f64 / 720.0;
+
+    println!("{SAMPLES} perturbed samples per cell, {HOURS}-hour horizon, policy 1\n");
+    println!(
+        "{:>9}  {:>9}  {:>11}  {:>11}  {:>11}  {:>9}  {:>9}",
+        "budget", "schedule", "P50 bill", "P95 bill", "P99 bill", "P(viol)", "savings"
+    );
+
+    for &monthly in &[1_000_000.0, Scenario::STRINGENT_BUDGET, 2_000_000.0] {
+        for schedule in [ScheduleSpec::Flat, ScheduleSpec::Derate { depth: 0.25 }] {
+            let config = RiskConfig {
+                samples: SAMPLES,
+                hours: HOURS,
+                monthly_budget: Some(monthly * frac),
+                schedule,
+                ..RiskConfig::default()
+            };
+            let (_, summary) = RiskEngine::new(config).run().expect("risk run");
+            println!(
+                "{:>9}  {:>9}  {:>11}  {:>11}  {:>11}  {:>8.0}%  {:>8.1}%",
+                format!("${:.1}M", monthly / 1e6),
+                match schedule {
+                    ScheduleSpec::Flat => "flat",
+                    ScheduleSpec::Derate { .. } => "derate",
+                },
+                format!("${:.0}k", summary.bill.p50 / 1e3),
+                format!("${:.0}k", summary.bill.p95 / 1e3),
+                format!("${:.0}k", summary.bill.p99 / 1e3),
+                100.0 * summary.violation_probability,
+                100.0 * summary.savings_ratio.p50,
+            );
+        }
+    }
+
+    println!(
+        "\nthe bill distribution tightens as the budget grows (the capper has \
+         room to absorb bad draws), derated caps raise the tail quantiles, \
+         and the median savings vs Min-Only persist across every cell."
+    );
+}
