@@ -58,6 +58,7 @@ fn replay_table() {
 fn main() {
     let mut h = Harness::from_args();
     serve_bench::bench_decide_strategies(&mut h);
+    serve_bench::bench_replay_telemetry(&mut h);
     h.finish();
     replay_table();
 }

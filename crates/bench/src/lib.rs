@@ -166,6 +166,38 @@ pub mod serve_bench {
             black_box(d.allocation.total_cost)
         });
     }
+
+    /// Registers the telemetry-overhead pair: the same short in-process
+    /// replay (one worker, identical request stream) with latency
+    /// recording and window rotation disabled vs. enabled. The two
+    /// medians bound what the hot path pays for continuous telemetry —
+    /// the tentpole's "< 3% replay regression" claim is the ratio of
+    /// these rows in `BENCH_solver.json`.
+    pub fn bench_replay_telemetry(h: &mut Harness) {
+        use billcap_serve::{build_plan, run_replay, ServeConfig};
+
+        let plan = std::sync::Arc::new(
+            build_plan(1, 42, 24, None)
+                // repolint-allow(unwrap): the paper scenario always builds
+                .expect("plan builds"),
+        );
+        for (label, telemetry) in [("off", false), ("on", true)] {
+            let plan = plan.clone();
+            let cfg = ServeConfig {
+                workers: 1,
+                telemetry,
+                window_requests: 4,
+                ..ServeConfig::default()
+            };
+            h.bench(&format!("serve_replay/telemetry_{label}"), move || {
+                let outcome = run_replay(&cfg, &plan)
+                    // repolint-allow(unwrap): replay of a valid plan cannot fail
+                    .expect("replay runs");
+                assert_eq!(outcome.decisions.len(), plan.requests.len());
+                black_box(outcome.stats.decisions)
+            });
+        }
+    }
 }
 
 #[cfg(test)]

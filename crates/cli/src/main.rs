@@ -13,7 +13,10 @@
 //!         [--cap-schedule derate:0.3] [--hours 168] [--json risk.jsonl]
 //! billcap solve-lp model.lp
 //! billcap serve [--socket /tmp/billcap.sock] [--workers 4]
+//!         [--metrics-stream metrics.jsonl]
 //! billcap replay [--hours 168] [--check]
+//! billcap watch --socket /tmp/billcap.sock [--count 10] [--interval-ms 1000]
+//! billcap analyze-series metrics.jsonl [--slo "request_us.p99<=5000"]
 //! billcap help
 //! ```
 
@@ -120,7 +123,8 @@ USAGE:
       Error-severity findings; --json emits JSONL.
 
   billcap serve [--socket PATH [--once]] [--workers N] [--no-cache]
-          [--warm-basis] [--integral]
+          [--warm-basis] [--integral] [--metrics-stream FILE]
+          [--window-requests N] [--no-telemetry]
       Run the decide-hour daemon. Clients send framed JSON requests
       (4-byte big-endian length prefix + JSON body) on stdin and read
       framed responses on stdout; with --socket PATH a Unix socket is
@@ -130,6 +134,31 @@ USAGE:
       --no-cache disables the shared decision cache; --warm-basis
       carries simplex bases across solves (faster, but answers are no
       longer guaranteed bitwise-identical to the fresh solver).
+
+      The server answers in-band `{\"op\":\"metrics\"}` and
+      `{\"op\":\"health\"}` control frames from the reader thread without
+      occupying a decision worker. With --metrics-stream FILE, one
+      metrics document is appended to FILE as JSONL every
+      --window-requests requests (default 64), ready for
+      `analyze-series`. --no-telemetry disables latency recording and
+      window rotation (work counters are always kept).
+
+  billcap watch --socket PATH [--count N] [--interval-ms MS] [--json]
+      Attach to a running daemon and scrape its `metrics` control frame
+      periodically, rendering a live table of work counters and latency
+      quantiles (microseconds). --count N stops after N scrapes
+      (default 0 = until the server closes the connection); --json
+      prints raw metrics documents as JSONL instead of the table —
+      pipe-able straight into `analyze-series`.
+
+  billcap analyze-series FILE [--slo SPEC]
+      Analyze a streamed metrics log (JSONL of per-window metrics
+      documents, as written by `serve --metrics-stream` or captured by
+      `watch --json`): per-window table plus totals. With
+      --slo \"SERIES.QUANTILE<=THRESHOLD [over N] [allow F]\" (e.g.
+      \"request_us.p99<=5000 over 12 allow 0.1\"), evaluate SLO burn
+      over the windows, print a machine-readable verdict line, and exit
+      non-zero when the burn exceeds the allowance.
 
   billcap replay [--hours N] [--seed N] [--policy 0..3] [--workers N]
           [--budget DOLLARS | --uncapped] [--no-cache] [--check]
@@ -174,6 +203,8 @@ fn run(tokens: Vec<String>) -> Result<(), String> {
         Some("lint-spec") => lint_spec_cmd(&args),
         Some("serve") => serve_cmd(&args).map_err(stringify),
         Some("replay") => replay_cmd(&args).map_err(stringify),
+        Some("watch") => watch_cmd(&args).map_err(stringify),
+        Some("analyze-series") => analyze_series_cmd(&args).map_err(stringify),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -729,18 +760,29 @@ fn serve_config(args: &Args) -> Result<ServeConfig, ArgError> {
     cfg.cache = !args.has("no-cache");
     cfg.reuse_basis = args.has("warm-basis");
     cfg.integral_servers = args.has("integral");
+    cfg.telemetry = !args.has("no-telemetry");
+    cfg.window_requests = args.get_or("window-requests", cfg.window_requests)?;
+    if let Some(path) = args.get("metrics-stream") {
+        cfg.metrics_stream = Some(std::path::PathBuf::from(path));
+    }
     Ok(cfg)
 }
 
+/// The flags [`serve_config`] consumes, shared by `serve` and `replay`.
+const SERVE_CONFIG_FLAGS: [&str; 7] = [
+    "workers",
+    "no-cache",
+    "warm-basis",
+    "integral",
+    "no-telemetry",
+    "window-requests",
+    "metrics-stream",
+];
+
 fn serve_cmd(args: &Args) -> Result<(), ArgError> {
-    args.check_known(&[
-        "socket",
-        "once",
-        "workers",
-        "no-cache",
-        "warm-basis",
-        "integral",
-    ])?;
+    let mut known = vec!["socket", "once"];
+    known.extend_from_slice(&SERVE_CONFIG_FLAGS);
+    args.check_known(&known)?;
     let cfg = serve_config(args)?;
     if let Some(path) = args.get("socket") {
         #[cfg(unix)]
@@ -780,18 +822,9 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
 }
 
 fn replay_cmd(args: &Args) -> Result<(), ArgError> {
-    args.check_known(&[
-        "hours",
-        "seed",
-        "policy",
-        "workers",
-        "budget",
-        "uncapped",
-        "no-cache",
-        "warm-basis",
-        "integral",
-        "check",
-    ])?;
+    let mut known = vec!["hours", "seed", "policy", "budget", "uncapped", "check"];
+    known.extend_from_slice(&SERVE_CONFIG_FLAGS);
+    args.check_known(&known)?;
     let hours: usize = args.get_or("hours", 168)?;
     if hours == 0 {
         return Err(ArgError("--hours must be at least 1".into()));
@@ -831,6 +864,131 @@ fn replay_cmd(args: &Args) -> Result<(), ArgError> {
             outcome.errors.len(),
             outcome.errors[0]
         )));
+    }
+    Ok(())
+}
+
+/// Table header shared by `watch` and `analyze-series`.
+const SERIES_HEADER: &str =
+    "  tick   uptime  requests decisions errors  queue        request_us           solve_us\n\
+     \u{20}                                                 p50/p95/p99 (us)    p50/p95/p99 (us)";
+
+/// One table row for a metrics document.
+fn series_row(doc: &billcap_obs::MetricsDoc) -> String {
+    let c = |k: &str| doc.counters.get(k).copied().unwrap_or(0);
+    let q = |k: &str| match doc.latency.get(k) {
+        Some(q) if q.count > 0 => format!("{:>5.0}/{:>5.0}/{:>5.0}", q.p50, q.p95, q.p99),
+        _ => "    -/    -/    -".into(),
+    };
+    format!(
+        "{:>6} {:>7.1}s {:>9} {:>9} {:>6} {:>6.0}  {:>17}   {:>17}",
+        doc.tick,
+        doc.uptime_ns as f64 / 1e9,
+        c("serve.requests"),
+        c("serve.decisions"),
+        c("serve.errors"),
+        doc.gauges.get("serve.queue_depth").copied().unwrap_or(0.0),
+        q("request_us"),
+        q("solve_us"),
+    )
+}
+
+fn watch_cmd(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["socket", "count", "interval-ms", "json"])?;
+    #[cfg(unix)]
+    {
+        use billcap_serve::{read_frame, write_frame, ControlMsg, Response, MAX_FRAME};
+        use std::io::Write as _;
+
+        let path: String = args.require("socket")?;
+        let count: u64 = args.get_or("count", 0)?;
+        let interval_ms: u64 = args.get_or("interval-ms", 1_000)?;
+        let json = args.has("json");
+
+        let mut stream = std::os::unix::net::UnixStream::connect(&path)
+            .map_err(|e| ArgError(format!("connecting to {path:?}: {e}")))?;
+        if !json {
+            println!("{SERIES_HEADER}");
+        }
+        let mut scrapes = 0u64;
+        while count == 0 || scrapes < count {
+            if scrapes > 0 && interval_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
+            let payload = ControlMsg::Metrics { id: Some(scrapes) }
+                .to_value()
+                .render();
+            write_frame(&mut stream, payload.as_bytes())
+                .and_then(|()| stream.flush())
+                .map_err(|e| ArgError(format!("scraping {path:?}: {e}")))?;
+            let frame = match read_frame(&mut stream, MAX_FRAME) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break, // server closed the connection
+                Err(e) => return Err(ArgError(format!("reading from {path:?}: {e}"))),
+            };
+            match Response::parse(&frame).map_err(ArgError)? {
+                Response::Metrics { doc, .. } => {
+                    if json {
+                        println!("{}", doc.render_json());
+                    } else {
+                        println!("{}", series_row(&doc));
+                    }
+                }
+                other => {
+                    return Err(ArgError(format!(
+                        "unexpected response to a metrics scrape: {other:?}"
+                    )))
+                }
+            }
+            scrapes += 1;
+        }
+        Ok(())
+    }
+    #[cfg(not(unix))]
+    {
+        Err(ArgError(
+            "watch needs Unix sockets, which are not available on this platform".into(),
+        ))
+    }
+}
+
+fn analyze_series_cmd(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["slo"])?;
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("analyze-series needs a metrics log (JSONL)".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("reading metrics log {path:?}: {e}")))?;
+    let series = billcap_obs_analyze::MetricsSeries::parse_jsonl(&text)
+        .map_err(|e| ArgError(format!("parsing {path:?}: {e}")))?;
+    if series.is_empty() {
+        return Err(ArgError(format!(
+            "{path:?} contains no metrics documents; was the server run with --metrics-stream?"
+        )));
+    }
+
+    println!("{SERIES_HEADER}");
+    for doc in &series.docs {
+        println!("{}", series_row(doc));
+    }
+    let requests = series.counter_deltas("serve.requests");
+    println!(
+        "\n{} windows, {} requests total",
+        series.len(),
+        requests.iter().sum::<u64>()
+    );
+
+    if let Some(spec) = args.get("slo") {
+        let spec = billcap_obs_analyze::SloSpec::parse(spec).map_err(ArgError)?;
+        let report = spec.evaluate(&series);
+        println!("{}", report.render_json());
+        if !report.ok {
+            return Err(ArgError(format!(
+                "SLO violated: {} of {} windows over threshold (burn {:.3} > allow {})",
+                report.violations, report.windows, report.burn, spec.allow
+            )));
+        }
     }
     Ok(())
 }
@@ -956,6 +1114,8 @@ mod tests {
             "lint-spec --bogus 1",
             "serve --bogus 1",
             "replay --bogus 1",
+            "watch --socket /tmp/x.sock --bogus 1",
+            "analyze-series x.jsonl --bogus 1",
         ] {
             let err = run_str(cmd).unwrap_err();
             assert!(err.contains("--bogus"), "{cmd}: {err}");
@@ -1144,5 +1304,155 @@ mod tests {
         let snap = billcap_obs::export::parse_jsonl(&text).unwrap();
         assert!(snap.spans.keys().any(|p| p.contains("step1")));
         assert!(snap.counters.contains_key("milp.bnb.nodes"));
+    }
+
+    #[test]
+    fn watch_validation() {
+        let err = run_str("watch").unwrap_err();
+        assert!(err.contains("--socket"), "got: {err}");
+        assert!(run_str("watch --socket /nonexistent/billcap.sock --count 1").is_err());
+        assert!(run_str("watch --socket /tmp/x.sock --count nope").is_err());
+    }
+
+    /// Builds a small metrics JSONL log whose `request_us` latency sits
+    /// around `center_us` in every window.
+    fn write_series_fixture(path: &std::path::Path, centers: &[f64]) {
+        use billcap_obs::{MetricsDoc, QuantileSummary, WindowedHistogram};
+        let mut text = String::new();
+        for (i, &center) in centers.iter().enumerate() {
+            let mut doc = MetricsDoc::new(i as u64, (i as u64 + 1) * 1_000_000);
+            doc.counters
+                .insert("serve.requests".into(), (i as u64 + 1) * 16);
+            doc.gauges.insert("serve.queue_depth".into(), 1.0);
+            let mut h = WindowedHistogram::new(&[100.0, 1_000.0, 10_000.0, 100_000.0], 1);
+            for k in 0..10 {
+                h.record(center + k as f64);
+            }
+            doc.latency.insert(
+                "request_us".into(),
+                QuantileSummary::from_histogram(&h.merged()),
+            );
+            text.push_str(&doc.render_json());
+            text.push('\n');
+        }
+        std::fs::write(path, text).unwrap();
+    }
+
+    #[test]
+    fn analyze_series_evaluates_slo_burn() {
+        let dir = std::env::temp_dir().join("billcap_cli_series_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let clean = dir.join("clean.jsonl");
+        write_series_fixture(&clean, &[200.0, 250.0, 300.0]);
+        // No SLO: plain table, success.
+        assert!(run_str(&format!("analyze-series {}", clean.display())).is_ok());
+        // Clean baseline passes its SLO.
+        assert!(run(vec![
+            "analyze-series".into(),
+            clean.display().to_string(),
+            "--slo".into(),
+            "request_us.p99<=100000".into(),
+        ])
+        .is_ok());
+
+        // An injected violation window flips the verdict.
+        let burned = dir.join("burned.jsonl");
+        write_series_fixture(&burned, &[200.0, 50_000.0, 200.0]);
+        let err = run(vec![
+            "analyze-series".into(),
+            burned.display().to_string(),
+            "--slo".into(),
+            "request_us.p99<=10000".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("SLO violated"), "got: {err}");
+        // ... unless the error budget allows it.
+        assert!(run(vec![
+            "analyze-series".into(),
+            burned.display().to_string(),
+            "--slo".into(),
+            "request_us.p99<=10000 allow 0.5".into(),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn analyze_series_file_errors_are_actionable() {
+        assert!(run_str("analyze-series").is_err()); // missing positional
+        assert!(run_str("analyze-series /nonexistent/metrics.jsonl").is_err());
+        let dir = std::env::temp_dir().join("billcap_cli_series_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let err = run_str(&format!("analyze-series {}", empty.display())).unwrap_err();
+        assert!(err.contains("no metrics documents"), "got: {err}");
+        let clean = dir.join("spec.jsonl");
+        write_series_fixture(&clean, &[200.0]);
+        let err = run(vec![
+            "analyze-series".into(),
+            clean.display().to_string(),
+            "--slo".into(),
+            "request_us.p42<=1".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("quantile"), "got: {err}");
+    }
+
+    /// End-to-end: a live `serve --socket` daemon scraped by `watch`.
+    #[cfg(unix)]
+    #[test]
+    fn watch_scrapes_a_live_socket_server() {
+        let sock =
+            std::env::temp_dir().join(format!("billcap-cli-watch-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let sock_server = sock.clone();
+        let watch_result: std::sync::Mutex<Option<Result<(), String>>> =
+            std::sync::Mutex::new(None);
+        billcap_rt::run_workers(2, |w| {
+            if w == 0 {
+                let cfg = ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                };
+                billcap_serve::serve_unix(&cfg, &sock_server, true).expect("server binds");
+            } else {
+                // The listener creates the socket file at bind time. Be
+                // very patient: on a loaded single-core runner the
+                // server thread can be starved for seconds.
+                let mut tries = 0u32;
+                while !sock.exists() && tries < 60_000 {
+                    tries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                let res = if sock.exists() {
+                    run(vec![
+                        "watch".into(),
+                        "--socket".into(),
+                        sock.display().to_string(),
+                        "--count".into(),
+                        "2".into(),
+                        "--interval-ms".into(),
+                        "1".into(),
+                    ])
+                } else {
+                    Err(format!("server never bound {sock:?}"))
+                };
+                if res.is_err() {
+                    // Never panic here before the server's accept() has
+                    // returned: a dummy connection unblocks it so the
+                    // pool can join, and the failure is asserted below.
+                    let _ = std::os::unix::net::UnixStream::connect(&sock);
+                }
+                *watch_result.lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+            }
+        });
+        let _ = std::fs::remove_file(&sock);
+        watch_result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("client ran")
+            .expect("watch scrapes");
     }
 }

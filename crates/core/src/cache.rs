@@ -119,6 +119,7 @@ pub struct DecisionCache {
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl DecisionCache {
@@ -135,6 +136,7 @@ impl DecisionCache {
             capacity,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -175,6 +177,10 @@ impl DecisionCache {
             match self.order.pop_front() {
                 Some(old) => {
                     self.map.remove(&old);
+                    self.evictions += 1;
+                    if billcap_obs::enabled() {
+                        billcap_obs::counter("core.cache.evict", 1);
+                    }
                 }
                 None => break,
             }
@@ -199,6 +205,12 @@ impl DecisionCache {
     /// Lookups that fell through since construction.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Decisions evicted by the FIFO bound since construction
+    /// (mirrored to `core.cache.evict` when tracing is enabled).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -286,12 +298,14 @@ mod tests {
             cache.insert(k.clone(), d.clone());
         }
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
         assert!(cache.get(&keys[0]).is_none(), "oldest must be evicted");
         assert!(cache.get(&keys[1]).is_some());
         assert!(cache.get(&keys[2]).is_some());
         // Re-inserting an existing key must not evict anything.
         cache.insert(keys[2].clone(), d.clone());
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
         assert!(cache.get(&keys[1]).is_some());
     }
 }

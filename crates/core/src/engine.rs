@@ -88,6 +88,25 @@ struct EngineCore {
     thru_max: Vec<StepModel>,
     /// Monotonic use counter driving the caches' LRU eviction.
     stamp: u64,
+    /// Step-model cache telemetry across both steps' caches.
+    stats: EngineStats,
+    /// Fingerprints of structures built since the last
+    /// [`DecisionEngine::drain_built_keys`], for the server's
+    /// unique-rebuild registry.
+    built_keys: Vec<u64>,
+}
+
+/// Step-model LRU telemetry for one engine: exact work counters,
+/// deterministic for a fixed decision sequence on this engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Lookups that found a retained model (LRU hit).
+    pub hits: u64,
+    /// Lookups that required a full model build. Equals the number of
+    /// rebuilds: every miss builds.
+    pub misses: u64,
+    /// Retained models evicted to make room (LRU full).
+    pub evictions: u64,
 }
 
 /// A [`crate::BillCapper`] that keeps its MILPs (and optionally their
@@ -111,8 +130,26 @@ impl DecisionEngine {
                 cost_min: Vec::new(),
                 thru_max: Vec::new(),
                 stamp: 0,
+                stats: EngineStats::default(),
+                built_keys: Vec::new(),
             },
         }
+    }
+
+    /// Step-model cache counters accumulated by this engine.
+    pub fn cache_stats(&self) -> EngineStats {
+        self.core.stats
+    }
+
+    /// Removes and returns the fingerprints of every model structure
+    /// built since the previous call (empty when only cached models
+    /// served). A fingerprint is a pure function of
+    /// `(step, kept levels, caps)`, so the *set* of fingerprints drained
+    /// over a request sequence is independent of how the sequence was
+    /// sharded across engines — the server aggregates them into a
+    /// thread-count-invariant unique-rebuild counter.
+    pub fn drain_built_keys(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.core.built_keys)
     }
 
     /// The system this engine decides for.
@@ -265,8 +302,10 @@ impl EngineCore {
     }
 
     /// Inserts a freshly built model, evicting the least-recently-used
-    /// entry when the cache is full, and returns its index.
-    fn cache_insert(cache: &mut Vec<StepModel>, entry: StepModel) -> usize {
+    /// entry when the cache is full. Returns the new entry's index and
+    /// whether an eviction happened.
+    fn cache_insert(cache: &mut Vec<StepModel>, entry: StepModel) -> (usize, bool) {
+        let mut evicted = false;
         if cache.len() >= STEP_CACHE_CAP {
             let evict = cache
                 .iter()
@@ -275,9 +314,67 @@ impl EngineCore {
                 .map(|(i, _)| i)
                 .unwrap_or(0);
             cache.swap_remove(evict);
+            evicted = true;
         }
         cache.push(entry);
-        cache.len() - 1
+        (cache.len() - 1, evicted)
+    }
+
+    /// FNV-1a fingerprint of one step model's structural key. Depends
+    /// only on `(step, kept, caps)` — never on engine identity or build
+    /// order — which makes sets of fingerprints comparable across
+    /// engines and thread counts.
+    fn structure_fingerprint(step: u64, kept: &[Vec<usize>], caps: &[u64]) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        eat(step);
+        eat(kept.len() as u64);
+        for site in kept {
+            eat(site.len() as u64);
+            for &k in site {
+                eat(k as u64);
+            }
+        }
+        for &c in caps {
+            eat(c);
+        }
+        h
+    }
+
+    /// Bumps the telemetry for a step-cache hit.
+    fn note_hit(&mut self) {
+        self.stats.hits += 1;
+        if billcap_obs::enabled() {
+            billcap_obs::counter("core.engine.cache.hit", 1);
+        }
+    }
+
+    /// Bumps the telemetry for a step-cache miss (always a rebuild) and
+    /// remembers the built structure's fingerprint.
+    fn note_miss(&mut self, step: u64, kept: &[Vec<usize>], caps: &[u64]) {
+        self.stats.misses += 1;
+        self.built_keys
+            .push(Self::structure_fingerprint(step, kept, caps));
+        if billcap_obs::enabled() {
+            billcap_obs::counter("core.engine.cache.miss", 1);
+        }
+        record_rebuild();
+    }
+
+    /// Bumps the telemetry when an insert evicted a retained model.
+    fn note_eviction(&mut self, evicted: bool) {
+        if evicted {
+            self.stats.evictions += 1;
+            if billcap_obs::enabled() {
+                billcap_obs::counter("core.engine.cache.evict", 1);
+            }
+        }
     }
 
     /// Ensures a step-1/3 model for this hour's key is cached and
@@ -294,9 +391,10 @@ impl EngineCore {
     ) -> Result<usize, CoreError> {
         self.stamp += 1;
         if let Some(idx) = Self::cache_lookup(&mut self.cost_min, kept, caps, self.stamp) {
+            self.note_hit();
             return Ok(idx);
         }
-        record_rebuild();
+        self.note_miss(1, kept, caps);
         let mut m = Model::new("cost_min", Sense::Minimize);
         let vars = build_piecewise_core(&mut m, system, background_mw, self.integral_servers);
         m.add_constraint(
@@ -314,7 +412,7 @@ impl EngineCore {
         m.set_objective(obj, 0.0);
         let im = IncrementalModel::new(m)?;
         let lvl_rows = Self::resolve_level_rows(&im, &vars);
-        Ok(Self::cache_insert(
+        let (idx, evicted) = Self::cache_insert(
             &mut self.cost_min,
             StepModel {
                 im,
@@ -324,7 +422,9 @@ impl EngineCore {
                 lvl_rows,
                 last_used: self.stamp,
             },
-        ))
+        );
+        self.note_eviction(evicted);
+        Ok(idx)
     }
 
     /// Step-2 analogue of [`Self::ensure_cost_min`], mirroring
@@ -339,9 +439,10 @@ impl EngineCore {
     ) -> Result<usize, CoreError> {
         self.stamp += 1;
         if let Some(idx) = Self::cache_lookup(&mut self.thru_max, kept, caps, self.stamp) {
+            self.note_hit();
             return Ok(idx);
         }
-        record_rebuild();
+        self.note_miss(2, kept, caps);
         let mut m = Model::new("throughput_max", Sense::Maximize);
         let vars = build_piecewise_core(&mut m, system, background_mw, self.integral_servers);
         m.add_constraint(
@@ -360,7 +461,7 @@ impl EngineCore {
         m.set_objective(vars.lam.iter().map(|&v| (v, 1.0)).collect(), 0.0);
         let im = IncrementalModel::new(m)?;
         let lvl_rows = Self::resolve_level_rows(&im, &vars);
-        Ok(Self::cache_insert(
+        let (idx, evicted) = Self::cache_insert(
             &mut self.thru_max,
             StepModel {
                 im,
@@ -370,7 +471,9 @@ impl EngineCore {
                 lvl_rows,
                 last_used: self.stamp,
             },
-        ))
+        );
+        self.note_eviction(evicted);
+        Ok(idx)
     }
 }
 
@@ -660,6 +763,37 @@ mod tests {
             .decide_hour(7e8, 4.2e8, &background, f64::INFINITY)
             .unwrap();
         assert_decisions_bitwise_equal(&restored, &before, "restored caps");
+    }
+
+    #[test]
+    fn cache_stats_and_built_keys_track_the_lru() {
+        let sys = DataCenterSystem::paper_system(1);
+        let mut engine = DecisionEngine::new(sys.clone(), CapperConfig::default());
+        assert_eq!(engine.cache_stats(), EngineStats::default());
+        let hours = sweep(&sys);
+        for (offered, premium, background, budget) in &hours {
+            engine
+                .decide_hour(*offered, *premium, background, *budget)
+                .unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert!(stats.misses > 0, "first day must build models");
+        assert!(stats.hits > 0, "revisited kept-sets must hit");
+        assert_eq!(stats.evictions, 0, "a day's keys fit in the cache");
+        let keys = engine.drain_built_keys();
+        assert_eq!(keys.len() as u64, stats.misses, "one key per rebuild");
+        assert!(engine.drain_built_keys().is_empty(), "drain empties");
+
+        // The fingerprints are a pure function of the request sequence:
+        // a fresh engine fed the same hours produces the same keys.
+        let mut fresh = DecisionEngine::new(sys.clone(), CapperConfig::default());
+        for (offered, premium, background, budget) in &hours {
+            fresh
+                .decide_hour(*offered, *premium, background, *budget)
+                .unwrap();
+        }
+        assert_eq!(fresh.drain_built_keys(), keys);
+        assert_eq!(fresh.cache_stats(), stats);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use baselines::{MinOnly, PriceAssumption};
 pub use cache::{system_fingerprint, DecisionCache, DecisionKey};
 pub use capper::{BillCapper, CapperConfig, DecisionTrace, HourDecision, HourOutcome};
 pub use capsched::CapSchedule;
-pub use engine::DecisionEngine;
+pub use engine::{DecisionEngine, EngineStats};
 pub use error::CoreError;
 pub use evaluate::{evaluate_allocation, RealizedCost};
 pub use hierarchical::HierarchicalMinimizer;

@@ -17,6 +17,10 @@
 //! * [`diff`] — compares two runs with configurable relative/absolute
 //!   thresholds into a structured [`diff::DiffReport`]
 //!   (regressed / improved / new / missing).
+//! * [`series`] — the continuous-telemetry consumer: parses the
+//!   decision server's streamed metrics JSONL into per-window series
+//!   ([`series::MetricsSeries`]) and evaluates SLO burn against them
+//!   ([`series::SloSpec`], machine-readable [`series::SloReport`]).
 //! * [`trajectory`] — the `BENCH_solver.json` schema
 //!   ([`trajectory::BenchTrajectory`]): bench medians plus trace work
 //!   aggregates, and [`trajectory::gate`] for the perf-regression gate
@@ -57,11 +61,13 @@
 pub mod diff;
 pub mod flame;
 pub mod profile;
+pub mod series;
 pub mod trajectory;
 
 pub use diff::{diff_snapshots, DiffClass, DiffConfig, DiffEntry, DiffReport, MetricKind};
 pub use flame::{parse_collapsed, to_collapsed};
 pub use profile::{Profile, ProfileNode};
+pub use series::{MetricsSeries, Quantile, SloReport, SloSpec};
 pub use trajectory::{gate, BenchPoint, BenchTrajectory, GateConfig, Machine, TraceAggregates};
 
 /// Human formatting for nanosecond quantities (`1.5us`, `2.50ms`, …).

@@ -13,7 +13,7 @@
 //! | `span_stats` | aggregate per path: `count`, `total_ns`, `min_ns`, `max_ns`     |
 //! | `counter`    | `name`, `value`                                                 |
 //! | `gauge`      | `name`, `last`, `min`, `max`, `sets`                            |
-//! | `histogram`  | `name`, `bounds`, `counts`, `sum`, `count`, `min`, `max`        |
+//! | `histogram`  | `name`, `bounds`, `counts`, `sum`, `count`, `min`, `max`, `invalid` |
 //!
 //! The `meta` line comes first, then `span` events in deterministic
 //! `(start_ns, thread, seq)` order, then the aggregates in name order.
@@ -121,6 +121,7 @@ pub fn to_jsonl(snap: &TraceSnapshot) -> String {
             ("count", u(h.count)),
             ("min", f(h.min)),
             ("max", f(h.max)),
+            ("invalid", u(h.invalid)),
         ]);
         out.push_str(&line.render());
         out.push('\n');
@@ -295,6 +296,8 @@ fn parse_jsonl_line(snap: &mut TraceSnapshot, raw_line: &str) -> Result<(), Json
                         message: "non-numeric histogram max".into(),
                     })?,
                 };
+                // `invalid` is absent in pre-telemetry traces; default 0.
+                let invalid = v.get("invalid").and_then(Value::as_u64).unwrap_or(0);
                 snap.histograms.insert(
                     need_str(&v, "name")?,
                     HistogramSnapshot {
@@ -304,6 +307,7 @@ fn parse_jsonl_line(snap: &mut TraceSnapshot, raw_line: &str) -> Result<(), Json
                         count,
                         min,
                         max,
+                        invalid,
                     },
                 );
             }
@@ -431,6 +435,22 @@ mod tests {
         let snap = TraceSnapshot::default();
         let back = parse_jsonl(&to_jsonl(&snap)).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn histogram_invalid_count_round_trips() {
+        let r = Recorder::new();
+        r.observe_with("lat", f64::NAN, &[1.0, 2.0]);
+        r.observe_with("lat", 1.5, &[1.0, 2.0]);
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms["lat"].invalid, 1);
+        let back = parse_jsonl(&to_jsonl(&snap)).unwrap();
+        assert_eq!(back, snap);
+        // Pre-telemetry traces without the key parse with invalid = 0.
+        let legacy = "{\"type\":\"histogram\",\"name\":\"h\",\"bounds\":[1.0],\
+                      \"counts\":[1,0],\"sum\":0.5,\"count\":1,\"min\":0.5,\"max\":0.5}";
+        let old = parse_jsonl(legacy).unwrap();
+        assert_eq!(old.histograms["h"].invalid, 0);
     }
 
     #[test]

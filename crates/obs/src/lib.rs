@@ -66,10 +66,14 @@ pub mod json;
 pub mod metrics;
 mod recorder;
 pub mod stopwatch;
+pub mod telemetry;
 
 pub use metrics::{GaugeStat, HistogramSnapshot, SpanEvent, SpanStats, TraceSnapshot};
 pub use recorder::{Recorder, Span};
 pub use stopwatch::Stopwatch;
+pub use telemetry::{
+    DeltaTracker, MetricsDoc, QuantileSummary, TraceSink, WindowedHistogram, METRICS_VERSION,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;

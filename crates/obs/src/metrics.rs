@@ -62,20 +62,36 @@ pub const DEFAULT_BOUNDS: &[f64] = &[
 /// (for `i < bounds.len()`) covers `(bounds[i-1], bounds[i]]` — upper
 /// bounds are *inclusive* — and the final bucket at index
 /// `bounds.len()` is the overflow bucket `(bounds.last(), +inf)`.
+///
+/// ## Edge cases (all deterministic, none panic)
+///
+/// * A value exactly equal to `bounds[i]` lands in bucket `i`
+///   (upper-inclusive).
+/// * `-0.0` compares equal to `0.0`, so with a `0.0` bound it lands in
+///   that bound's bucket, same as `+0.0`.
+/// * `NaN` is counted in the dedicated [`invalid`](Self::invalid)
+///   tally — never bucketed, never added to `sum`/`count`/`min`/`max`,
+///   never silently dropped.
+/// * `+inf` lands in the overflow bucket and `-inf` in the first
+///   bucket; both increment `count` but are excluded from
+///   `sum`/`min`/`max` so those stay finite (and the JSONL round-trip,
+///   which encodes non-finite min/max as `null`, stays lossless).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Finite, strictly ascending bucket upper bounds.
     pub bounds: Vec<f64>,
     /// `bounds.len() + 1` counts; the last is the overflow bucket.
     pub counts: Vec<u64>,
-    /// Sum of all observed values.
+    /// Sum of all finite observed values.
     pub sum: f64,
-    /// Number of observations.
+    /// Number of bucketed observations (finite and `±inf`).
     pub count: u64,
-    /// Smallest observed value (`f64::INFINITY` when empty).
+    /// Smallest finite observed value (`f64::INFINITY` when none).
     pub min: f64,
-    /// Largest observed value (`f64::NEG_INFINITY` when empty).
+    /// Largest finite observed value (`f64::NEG_INFINITY` when none).
     pub max: f64,
+    /// `NaN` observations: counted here instead of any bucket.
+    pub invalid: u64,
 }
 
 impl HistogramSnapshot {
@@ -100,25 +116,71 @@ impl HistogramSnapshot {
             count: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            invalid: 0,
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. See the type docs for the boundary,
+    /// `-0.0`, `NaN` and `±inf` rules.
     pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            self.invalid += 1;
+            return;
+        }
         // partition_point over `v > *b` finds the first bound >= v, i.e.
         // the upper-inclusive bucket; values above the last bound land
-        // in the overflow bucket at index bounds.len().
+        // in the overflow bucket at index bounds.len(). `+inf` exceeds
+        // every finite bound (overflow) and `-inf` none (first bucket).
         let idx = self.bounds.partition_point(|b| v > *b);
         self.counts[idx] += 1;
-        self.sum += v;
         self.count += 1;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
     }
 
-    /// Mean of observed values, or `None` when empty.
+    /// Mean of finite observed values, or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Total observations including `NaN`s routed to `invalid`.
+    pub fn observations(&self) -> u64 {
+        self.count + self.invalid
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) of bucketed
+    /// observations, or `None` when empty.
+    ///
+    /// The estimate is the upper bound of the bucket containing the
+    /// rank-`ceil(q * count)` observation — deterministic and
+    /// conservative (never below the true quantile for in-range data).
+    /// When the rank falls in the overflow bucket, returns the largest
+    /// finite observed value, or the last bound if none exists.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else if self.max.is_finite() {
+                    self.max
+                } else {
+                    // Only +inf landed in overflow; saturate at the
+                    // last (finite) bound so callers always get a
+                    // renderable number.
+                    self.bounds[self.bounds.len() - 1]
+                });
+            }
+        }
+        None
     }
 
     /// Merges another histogram with identical bounds into this one.
@@ -137,6 +199,34 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.invalid += other.invalid;
+    }
+
+    /// Counts/sums accumulated since `baseline` (an earlier snapshot of
+    /// the same histogram), as a new histogram with the same bounds.
+    ///
+    /// `min`/`max` cannot be un-merged, so the delta carries the
+    /// *lifetime* min/max; use a
+    /// [`WindowedHistogram`](crate::telemetry::WindowedHistogram) when
+    /// recent extrema matter.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ.
+    pub fn delta_since(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(
+            self.bounds, baseline.bounds,
+            "cannot delta histograms with different bounds"
+        );
+        let mut d = HistogramSnapshot::new(&self.bounds);
+        for (i, (c, b)) in self.counts.iter().zip(&baseline.counts).enumerate() {
+            d.counts[i] = c.saturating_sub(*b);
+        }
+        d.sum = self.sum - baseline.sum;
+        d.count = self.count.saturating_sub(baseline.count);
+        d.invalid = self.invalid.saturating_sub(baseline.invalid);
+        d.min = self.min;
+        d.max = self.max;
+        d
     }
 }
 
@@ -264,6 +354,58 @@ impl TraceSnapshot {
     pub fn sort_events(&mut self) {
         self.events.sort_by_key(|e| (e.start_ns, e.thread, e.seq));
     }
+
+    /// Everything accumulated since `baseline` (an earlier snapshot of
+    /// the same recorder), for bounded-cost repeated scraping.
+    ///
+    /// Semantics per record kind:
+    /// * **counters** — arithmetic difference; entries whose delta is
+    ///   zero are omitted, so an idle period yields an empty delta.
+    /// * **histograms** — per-bucket count deltas via
+    ///   [`HistogramSnapshot::delta_since`] (lifetime min/max); omitted
+    ///   when no observation (valid or invalid) landed in the period.
+    /// * **spans** — count/total deltas with lifetime min/max; omitted
+    ///   when no span completed in the period.
+    /// * **gauges** — last-write-wins state, passed through as-is (a
+    ///   gauge has no meaningful difference).
+    /// * **events** — *not* included; the per-span event stream belongs
+    ///   to the export path, not to periodic scraping.
+    pub fn delta_since(&self, baseline: &TraceSnapshot) -> TraceSnapshot {
+        let mut d = TraceSnapshot::default();
+        for (k, v) in &self.counters {
+            let dv = v.saturating_sub(baseline.counters.get(k).copied().unwrap_or(0));
+            if dv > 0 {
+                d.counters.insert(k.clone(), dv);
+            }
+        }
+        for (k, h) in &self.histograms {
+            let dh = match baseline.histograms.get(k) {
+                Some(b) if b.bounds == h.bounds => h.delta_since(b),
+                _ => h.clone(),
+            };
+            if dh.observations() > 0 {
+                d.histograms.insert(k.clone(), dh);
+            }
+        }
+        for (k, s) in &self.spans {
+            let base = baseline.spans.get(k).copied().unwrap_or_default();
+            let count = s.count.saturating_sub(base.count);
+            if count > 0 {
+                d.spans.insert(
+                    k.clone(),
+                    SpanStats {
+                        count,
+                        total_ns: s.total_ns.saturating_sub(base.total_ns),
+                        min_ns: s.min_ns,
+                        max_ns: s.max_ns,
+                    },
+                );
+            }
+        }
+        d.gauges = self.gauges.clone();
+        d.orphans = self.orphans.saturating_sub(baseline.orphans);
+        d
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +434,146 @@ mod tests {
         assert_eq!(h.count, 8);
         assert_eq!(h.min, -3.0);
         assert_eq!(h.max, 1e12);
+    }
+
+    #[test]
+    fn histogram_negative_zero_lands_in_zero_bound_bucket() {
+        let mut h = HistogramSnapshot::new(&[0.0, 1.0]);
+        h.observe(-0.0);
+        h.observe(0.0);
+        // -0.0 == 0.0, so both take the upper-inclusive 0.0 bucket.
+        assert_eq!(h.counts, vec![2, 0, 0]);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.invalid, 0);
+    }
+
+    #[test]
+    fn histogram_nan_counts_as_invalid_never_bucketed() {
+        let mut h = HistogramSnapshot::new(&[1.0, 5.0]);
+        h.observe(f64::NAN);
+        h.observe(-f64::NAN);
+        assert_eq!(h.invalid, 2);
+        assert_eq!(h.counts, vec![0, 0, 0]);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0.0);
+        assert_eq!(h.min, f64::INFINITY); // untouched sentinels
+        assert_eq!(h.max, f64::NEG_INFINITY);
+        assert_eq!(h.observations(), 2);
+        // A later finite observation is unpolluted by the NaNs.
+        h.observe(3.0);
+        assert_eq!(h.mean(), Some(3.0));
+        assert_eq!(h.min, 3.0);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn histogram_infinities_bucket_but_stay_out_of_sum_min_max() {
+        let mut h = HistogramSnapshot::new(&[1.0, 5.0]);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(2.0);
+        assert_eq!(h.counts, vec![1, 1, 1]); // -inf first, 2.0 mid, +inf overflow
+        assert_eq!(h.count, 3);
+        assert_eq!(h.invalid, 0);
+        assert_eq!(h.sum, 2.0);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 2.0);
+    }
+
+    #[test]
+    fn histogram_quantile_returns_bucket_upper_bound() {
+        let mut h = HistogramSnapshot::new(&[1.0, 5.0, 10.0]);
+        for _ in 0..90 {
+            h.observe(0.5);
+        }
+        for _ in 0..9 {
+            h.observe(3.0);
+        }
+        h.observe(7.0);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.95), Some(5.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        assert_eq!(h.quantile(0.0), Some(1.0)); // rank clamps to 1
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(HistogramSnapshot::new(&[1.0]).quantile(0.5), None);
+
+        // Overflow-bucket quantile reports the largest finite value...
+        h.observe(250.0);
+        for _ in 0..200 {
+            h.observe(11.0);
+        }
+        assert_eq!(h.quantile(1.0), Some(250.0));
+        // ...and saturates at the last bound when only +inf overflowed.
+        let mut inf_only = HistogramSnapshot::new(&[1.0, 5.0]);
+        inf_only.observe(f64::INFINITY);
+        assert_eq!(inf_only.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_delta_since_subtracts_counts() {
+        let mut h = HistogramSnapshot::new(&[1.0, 5.0]);
+        h.observe(0.5);
+        h.observe(f64::NAN);
+        let base = h.clone();
+        h.observe(3.0);
+        h.observe(9.0);
+        h.observe(f64::NAN);
+        let d = h.delta_since(&base);
+        assert_eq!(d.counts, vec![0, 1, 1]);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.invalid, 1);
+        assert_eq!(d.sum, 3.0 + 9.0);
+        assert_eq!(d.observations(), 3);
+        // Lifetime extrema, as documented.
+        assert_eq!(d.min, 0.5);
+        assert_eq!(d.max, 9.0);
+    }
+
+    #[test]
+    fn snapshot_delta_since_omits_idle_records() {
+        let mut base = TraceSnapshot::default();
+        base.counters.insert("busy".into(), 2);
+        base.counters.insert("idle".into(), 7);
+        let mut hb = HistogramSnapshot::new(&[1.0]);
+        hb.observe(0.5);
+        base.histograms.insert("h_idle".into(), hb.clone());
+        let mut sb = SpanStats::default();
+        sb.record(10);
+        base.spans.insert("s_idle".into(), sb);
+
+        let mut cur = base.clone();
+        *cur.counters.get_mut("busy").expect("busy") += 3;
+        cur.counters.insert("fresh".into(), 1);
+        let mut hc = hb.clone();
+        hc.observe(2.0);
+        cur.histograms.insert("h_busy".into(), hc);
+        cur.gauges.insert("g".into(), GaugeStat::single(4.0));
+        let mut sc = SpanStats::default();
+        sc.record(5);
+        cur.spans.insert("s_busy".into(), sc);
+
+        let d = cur.delta_since(&base);
+        assert_eq!(d.counters.len(), 2);
+        assert_eq!(d.counters["busy"], 3);
+        assert_eq!(d.counters["fresh"], 1);
+        assert!(!d.counters.contains_key("idle"));
+        assert_eq!(d.histograms.len(), 1);
+        // h_busy is new to the current snapshot (no baseline entry), so
+        // the delta is its full contents: the cloned 0.5 plus the 2.0.
+        assert_eq!(d.histograms["h_busy"].count, 2);
+        assert_eq!(d.histograms["h_busy"].counts, vec![1, 1]);
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!(d.spans["s_busy"].count, 1);
+        // Gauges pass through last-write state.
+        assert_eq!(d.gauges["g"].last, 4.0);
+        assert_eq!(d.orphans, 0);
+
+        // Delta against an empty baseline is the snapshot itself minus
+        // the idle-record pruning (nothing idle here to prune).
+        let all = cur.delta_since(&TraceSnapshot::default());
+        assert_eq!(all.counters["idle"], 7);
+        assert_eq!(all.histograms["h_idle"].count, 1);
     }
 
     #[test]

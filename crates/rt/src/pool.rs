@@ -17,6 +17,17 @@
 //!
 //! [`run_workers`] is the low-level escape hatch for custom topologies;
 //! the MILP solver's shared-frontier branch-and-bound runs on it.
+//!
+//! ## Telemetry
+//!
+//! When `billcap-obs` tracing is enabled, the parallel map paths set
+//! three advisory gauges (no-ops otherwise, behind one relaxed atomic
+//! load): `rt.pool.workers` (pool size), `rt.pool.queue_depth` (items
+//! still unclaimed at each claim), and `rt.pool.worker_items` (items
+//! each worker processed — the gauge's min/max spread is the
+//! utilization imbalance). Gauges are wall-clock-free but reflect
+//! scheduling, so they are advisory, never part of the deterministic
+//! work-counter set.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -118,6 +129,7 @@ where
     let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
     let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
 
+    billcap_obs::gauge("rt.pool.workers", threads as f64);
     run_workers(threads, |_| {
         let mut local: Vec<(usize, U)> = Vec::new();
         loop {
@@ -125,6 +137,7 @@ where
             if i >= items.len() || i > first_error_idx.load(Ordering::Acquire) {
                 break;
             }
+            billcap_obs::gauge("rt.pool.queue_depth", (items.len() - i - 1) as f64);
             match f(&items[i]) {
                 Ok(v) => local.push((i, v)),
                 Err(e) => {
@@ -136,6 +149,7 @@ where
                 }
             }
         }
+        billcap_obs::gauge("rt.pool.worker_items", local.len() as f64);
         results
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -212,6 +226,7 @@ where
     let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
     let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
 
+    billcap_obs::gauge("rt.pool.workers", threads as f64);
     run_workers(threads, |_| {
         let mut state = init();
         let mut local: Vec<(usize, U)> = Vec::new();
@@ -220,6 +235,7 @@ where
             if i >= items.len() || i > first_error_idx.load(Ordering::Acquire) {
                 break;
             }
+            billcap_obs::gauge("rt.pool.queue_depth", (items.len() - i - 1) as f64);
             match f(&mut state, &items[i]) {
                 Ok(v) => local.push((i, v)),
                 Err(e) => {
@@ -231,6 +247,7 @@ where
                 }
             }
         }
+        billcap_obs::gauge("rt.pool.worker_items", local.len() as f64);
         results
             .lock()
             .unwrap_or_else(PoisonError::into_inner)

@@ -1,0 +1,29 @@
+//! The pool's advisory gauges reach the global recorder when tracing
+//! is enabled. Lives in its own integration test (= its own process)
+//! because it toggles the process-global tracing state.
+
+use billcap_rt::par_map_threads;
+
+#[test]
+fn pool_emits_gauges_when_tracing_enabled() {
+    billcap_obs::set_enabled(true);
+    let items: Vec<u64> = (0..64).collect();
+    let out = par_map_threads(&items, 4, |&x| x + 1);
+    assert_eq!(out.len(), 64);
+
+    // Worker threads joined (explicitly) inside par_map_threads, so
+    // their thread-local collectors have already merged.
+    let snap = billcap_obs::snapshot();
+    assert_eq!(snap.gauges["rt.pool.workers"].last, 4.0);
+    // One set per worker, even for workers that claimed nothing.
+    assert_eq!(snap.gauges["rt.pool.worker_items"].sets, 4);
+    // One set per claimed item: 63 remaining after the first claim,
+    // 0 after the last.
+    let depth = &snap.gauges["rt.pool.queue_depth"];
+    assert_eq!(depth.sets, 64);
+    assert_eq!(depth.min, 0.0);
+    assert_eq!(depth.max, 63.0);
+
+    billcap_obs::set_enabled(false);
+    billcap_obs::reset();
+}

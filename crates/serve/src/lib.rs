@@ -47,9 +47,19 @@
 //! let frame = read_frame(&mut Cursor::new(output), MAX_FRAME).unwrap().unwrap();
 //! match Response::parse(&frame).unwrap() {
 //!     Response::Decision(msg) => assert_eq!(msg.id, 1),
-//!     Response::Error { message, .. } => panic!("{message}"),
+//!     other => panic!("{other:?}"),
 //! }
 //! ```
+//!
+//! ## Telemetry
+//!
+//! The server continuously maintains exact work counters and windowed
+//! latency histograms ([`server::ServerTelemetry`]). Clients scrape
+//! them in-band with `{"op":"metrics"}` / `{"op":"health"}` control
+//! frames ([`protocol::ControlMsg`]), answered by the reader thread
+//! without touching the decision workers; a configured
+//! `metrics_stream` additionally receives one JSONL
+//! [`billcap_obs::MetricsDoc`] per window rotation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,12 +69,13 @@ pub mod replay;
 pub mod server;
 
 pub use protocol::{
-    read_frame, write_frame, DecisionMsg, FrameError, Request, RequestError, Response, MAX_FRAME,
+    read_frame, write_frame, ControlMsg, DecisionMsg, FrameError, Request, RequestError, Response,
+    MAX_FRAME,
 };
 pub use replay::{
     build_plan, encode_requests, run_replay, verify_replay, ReplayOutcome, ReplayPlan,
 };
-pub use server::{serve, ServeConfig, ServeStats};
+pub use server::{serve, serve_with, ServeConfig, ServeStats, ServerTelemetry};
 
 #[cfg(unix)]
 pub use server::serve_unix;

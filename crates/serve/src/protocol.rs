@@ -24,6 +24,7 @@
 
 use billcap_core::{HourDecision, HourOutcome};
 use billcap_obs::json::Value;
+use billcap_obs::MetricsDoc;
 use std::io::{Read, Write};
 
 /// Default maximum frame payload (1 MiB) — far above any real request,
@@ -309,6 +310,69 @@ pub struct RequestError {
     pub message: String,
 }
 
+/// An in-band control frame: `{"op":"metrics"}` or `{"op":"health"}`,
+/// with an optional `id` echoed on the response.
+///
+/// Control frames are answered by the server's reader thread directly —
+/// they never enter the decision queue, so a scrape observes the
+/// workers instead of competing with them. The `"op"` key is reserved:
+/// decide requests carry no string values at all, so the byte sequence
+/// `"op"` can only appear in a control frame (see
+/// [`maybe_control`](Self::maybe_control)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Ask for the current [`MetricsDoc`].
+    Metrics {
+        /// Optional correlation id, echoed back.
+        id: Option<u64>,
+    },
+    /// Ask for an ok/degraded health verdict.
+    Health {
+        /// Optional correlation id, echoed back.
+        id: Option<u64>,
+    },
+}
+
+impl ControlMsg {
+    /// Cheap pre-filter: does the payload contain the byte sequence
+    /// `"op"`? Decide requests never do (their only strings are the
+    /// fixed field names, none of which contains `"op"` quoted), so the
+    /// reader runs this O(n) scan instead of parsing JSON per frame.
+    pub fn maybe_control(payload: &[u8]) -> bool {
+        payload.windows(4).any(|w| w == b"\"op\"")
+    }
+
+    /// Parses a control frame. `Ok(None)` means the payload has no
+    /// `"op"` key and should be treated as an ordinary request;
+    /// `Err` means it names an op the server does not know.
+    pub fn parse(payload: &[u8]) -> Result<Option<ControlMsg>, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("not UTF-8: {e}"))?;
+        let v = Value::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+        let Some(op) = v.get("op").and_then(Value::as_str) else {
+            return Ok(None);
+        };
+        let id = v.get("id").and_then(Value::as_u64);
+        match op {
+            "metrics" => Ok(Some(ControlMsg::Metrics { id })),
+            "health" => Ok(Some(ControlMsg::Health { id })),
+            other => Err(format!("unknown control op '{other}'")),
+        }
+    }
+
+    /// Renders the control frame (the client half).
+    pub fn to_value(&self) -> Value {
+        let (op, id) = match self {
+            ControlMsg::Metrics { id } => ("metrics", id),
+            ControlMsg::Health { id } => ("health", id),
+        };
+        let mut fields = vec![("op".to_string(), Value::Str(op.into()))];
+        if let Some(i) = id {
+            fields.push(("id".into(), Value::Int(*i as i64)));
+        }
+        Value::Obj(fields)
+    }
+}
+
 fn outcome_tag(outcome: HourOutcome) -> &'static str {
     match outcome {
         HourOutcome::WithinBudget => "within_budget",
@@ -541,7 +605,8 @@ impl DecisionMsg {
     }
 }
 
-/// A response frame: a decision or a structured, correlated error.
+/// A response frame: a decision, a structured error, or the answer to
+/// an in-band [`ControlMsg`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// A finished decision.
@@ -553,6 +618,26 @@ pub enum Response {
         /// Human-readable cause.
         message: String,
     },
+    /// The metrics document answering a `metrics` control frame.
+    Metrics {
+        /// Echoed control-frame id, when one was sent.
+        id: Option<u64>,
+        /// The scraped document.
+        doc: MetricsDoc,
+    },
+    /// The verdict answering a `health` control frame.
+    Health {
+        /// Echoed control-frame id, when one was sent.
+        id: Option<u64>,
+        /// `true` when no degradation reason applies.
+        ok: bool,
+        /// Why the server considers itself degraded (empty when ok).
+        reasons: Vec<String>,
+    },
+}
+
+fn opt_id(id: Option<u64>) -> Value {
+    id.map(|i| Value::Int(i as i64)).unwrap_or(Value::Null)
 }
 
 impl Response {
@@ -562,11 +647,25 @@ impl Response {
             Response::Decision(d) => d.to_value(),
             Response::Error { id, message } => Value::Obj(vec![
                 ("type".into(), Value::Str("error".into())),
-                (
-                    "id".into(),
-                    id.map(|i| Value::Int(i as i64)).unwrap_or(Value::Null),
-                ),
+                ("id".into(), opt_id(*id)),
                 ("message".into(), Value::Str(message.clone())),
+            ]),
+            Response::Metrics { id, doc } => Value::Obj(vec![
+                ("type".into(), Value::Str("metrics".into())),
+                ("id".into(), opt_id(*id)),
+                ("doc".into(), doc.to_value()),
+            ]),
+            Response::Health { id, ok, reasons } => Value::Obj(vec![
+                ("type".into(), Value::Str("health".into())),
+                ("id".into(), opt_id(*id)),
+                (
+                    "status".into(),
+                    Value::Str(if *ok { "ok" } else { "degraded" }.into()),
+                ),
+                (
+                    "reasons".into(),
+                    Value::Arr(reasons.iter().map(|r| Value::Str(r.clone())).collect()),
+                ),
             ]),
         }
     }
@@ -575,16 +674,41 @@ impl Response {
     pub fn parse(payload: &[u8]) -> Result<Response, String> {
         let text = std::str::from_utf8(payload).map_err(|e| format!("not UTF-8: {e}"))?;
         let v = Value::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+        let id = v.get("id").and_then(Value::as_u64);
         match v.get("type").and_then(Value::as_str) {
             Some("decision") => DecisionMsg::from_value(&v).map(Response::Decision),
             Some("error") => Ok(Response::Error {
-                id: v.get("id").and_then(Value::as_u64),
+                id,
                 message: v
                     .get("message")
                     .and_then(Value::as_str)
                     .unwrap_or("")
                     .to_string(),
             }),
+            Some("metrics") => Ok(Response::Metrics {
+                id,
+                doc: MetricsDoc::from_value(v.get("doc").ok_or("missing field 'doc'")?)?,
+            }),
+            Some("health") => {
+                let status = v
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .ok_or("missing field 'status'")?;
+                let reasons = v
+                    .get("reasons")
+                    .and_then(Value::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .map(|r| r.as_str().unwrap_or("").to_string())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Ok(Response::Health {
+                    id,
+                    ok: status == "ok",
+                    reasons,
+                })
+            }
             other => Err(format!("unknown response type {other:?}")),
         }
     }
@@ -719,6 +843,63 @@ mod tests {
                 id,
                 message: "bad request".into(),
             };
+            let back = Response::parse(r.to_value().render().as_bytes()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn control_frames_parse_and_round_trip() {
+        for (ctl, op) in [
+            (ControlMsg::Metrics { id: Some(3) }, "metrics"),
+            (ControlMsg::Health { id: None }, "health"),
+        ] {
+            let rendered = ctl.to_value().render();
+            assert!(rendered.contains(op));
+            assert!(ControlMsg::maybe_control(rendered.as_bytes()));
+            assert_eq!(ControlMsg::parse(rendered.as_bytes()).unwrap(), Some(ctl));
+        }
+        // Unknown ops are rejected; op-less payloads fall through.
+        assert!(ControlMsg::parse(br#"{"op":"reboot"}"#).is_err());
+        assert_eq!(ControlMsg::parse(br#"{"id":1}"#).unwrap(), None);
+    }
+
+    #[test]
+    fn decide_requests_never_look_like_control_frames() {
+        let rendered = request().to_value().render();
+        assert!(!ControlMsg::maybe_control(rendered.as_bytes()));
+        let unlimited = Request {
+            hourly_budget: f64::INFINITY,
+            ..request()
+        };
+        assert!(!ControlMsg::maybe_control(
+            unlimited.to_value().render().as_bytes()
+        ));
+    }
+
+    #[test]
+    fn metrics_responses_round_trip() {
+        let mut doc = billcap_obs::MetricsDoc::new(4, 1_000_000);
+        doc.counters.insert("serve.requests".into(), 168);
+        doc.gauges.insert("serve.queue_depth".into(), 2.0);
+        let r = Response::Metrics { id: Some(9), doc };
+        let back = Response::parse(r.to_value().render().as_bytes()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn health_responses_round_trip() {
+        let ok = Response::Health {
+            id: None,
+            ok: true,
+            reasons: Vec::new(),
+        };
+        let degraded = Response::Health {
+            id: Some(2),
+            ok: false,
+            reasons: vec!["trace sink dropped 3 lines".into()],
+        };
+        for r in [ok, degraded] {
             let back = Response::parse(r.to_value().render().as_bytes()).unwrap();
             assert_eq!(back, r);
         }

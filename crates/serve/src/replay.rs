@@ -138,6 +138,11 @@ pub fn run_replay(cfg: &ServeConfig, plan: &ReplayPlan) -> Result<ReplayOutcome,
         match Response::parse(&frame)? {
             Response::Decision(msg) => decisions.push(msg),
             Response::Error { id, message } => errors.push((id, message)),
+            // The replay stream sends no control frames; a control
+            // response here means the server misrouted something.
+            Response::Metrics { .. } | Response::Health { .. } => {
+                return Err("unexpected control response in replay stream".into())
+            }
         }
     }
     decisions.sort_by_key(|m| m.id);

@@ -6,9 +6,9 @@
 //!
 //! ```text
 //!  reader (worker 0) ──frames──▶ Mutex<VecDeque> ──▶ workers 1..=N
-//!                                                      │ per-worker DecisionEngines
-//!                                                      ▼
-//!                                    Mutex<W> ◀──response frames──┘
+//!      │ answers control frames                        │ per-worker DecisionEngines
+//!      ▼                                               ▼
+//!  ServerTelemetry ◀──latency/counters  Mutex<W> ◀──response frames──┘
 //! ```
 //!
 //! * Each worker owns one [`DecisionEngine`] per pricing policy, so
@@ -20,20 +20,62 @@
 //!   the stream — the server emits one final `error` frame and shuts
 //!   down cleanly. Neither ever panics a worker.
 //!
+//! ## Telemetry
+//!
+//! A [`ServerTelemetry`] instance accompanies every serve call (one
+//! per *process* under [`serve_unix`], so counters survive across
+//! connections). It splits observability into two strict tiers:
+//!
+//! * **Work counters** (`serve.requests`, `serve.decisions`,
+//!   `serve.cache.*`, `core.engine.rebuilds_unique`, …) count events
+//!   that are a pure function of the request stream — bitwise
+//!   reproducible across thread counts on a fixed replay. Unique
+//!   rebuilds are counted as the cardinality of the set of
+//!   structure fingerprints drained from every engine
+//!   ([`DecisionEngine::drain_built_keys`]); the *set* is
+//!   schedule-invariant even though which worker built what is not.
+//! * **Advisory signals** — windowed latency histograms
+//!   (enqueue-to-respond and solve-only, microseconds), queue-depth
+//!   gauges, uptime — are wall-clock and may differ run to run.
+//!
+//! In-band `{"op":"metrics"}` / `{"op":"health"}` control frames
+//! ([`crate::protocol::ControlMsg`]) are answered by the *reader*
+//! thread, never queued, so a scrape observes the workers instead of
+//! competing with them. Every `window_requests` data frames the reader
+//! rotates the latency windows and, when a metrics stream is
+//! configured, appends one [`MetricsDoc`] JSONL line via a bounded
+//! non-blocking [`TraceSink`] (drops are counted, memory never grows).
+//!
 //! Responses are written in completion order; clients correlate by
 //! `id`. With the cache off and basis reuse off, every response body is
 //! bitwise-identical to a fresh in-process
 //! [`billcap_core::BillCapper::decide_hour`] on the same request.
 
 use crate::protocol::{
-    read_frame, write_frame, DecisionMsg, FrameError, Request, Response, MAX_FRAME,
+    read_frame, write_frame, ControlMsg, DecisionMsg, FrameError, Request, Response, MAX_FRAME,
 };
-use billcap_core::{CapperConfig, DataCenterSystem, DecisionCache, DecisionEngine, DecisionKey};
+use billcap_core::{
+    CapperConfig, DataCenterSystem, DecisionCache, DecisionEngine, DecisionKey, EngineStats,
+};
+use billcap_obs::{MetricsDoc, QuantileSummary, Stopwatch, TraceSink, WindowedHistogram};
 use billcap_rt::run_workers;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Bucket upper bounds for the latency histograms, microseconds.
+/// Solves land around 10²–10³ µs; the tail buckets catch stalls.
+const LATENCY_BOUNDS_US: [f64; 12] = [
+    50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0, 100_000.0,
+    500_000.0,
+];
+
+/// Pending-line capacity of the metrics trace sink.
+const SINK_CAPACITY: usize = 256;
+
+/// Queue depth beyond which a `health` scrape reports degradation.
+const HEALTH_QUEUE_WARN: usize = 4096;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -51,6 +93,18 @@ pub struct ServeConfig {
     pub max_frame: usize,
     /// Model server counts as integers inside the MILPs.
     pub integral_servers: bool,
+    /// Record per-request latency and rotate metrics windows. Work
+    /// counters are maintained regardless; this switch only gates the
+    /// wall-clock instrumentation (the measurable overhead).
+    pub telemetry: bool,
+    /// Rotate the latency windows every this many data frames
+    /// (logical tick — deterministic on a replay). `0` disables
+    /// rotation (and therefore streaming).
+    pub window_requests: u64,
+    /// Number of retained latency windows (ring size `W`).
+    pub latency_windows: usize,
+    /// Append one metrics JSONL line per window rotation to this file.
+    pub metrics_stream: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +116,10 @@ impl Default for ServeConfig {
             reuse_basis: false,
             max_frame: MAX_FRAME,
             integral_servers: false,
+            telemetry: true,
+            window_requests: 64,
+            latency_windows: 8,
+            metrics_stream: None,
         }
     }
 }
@@ -77,20 +135,126 @@ pub struct ServeStats {
     pub errors: u64,
     /// Decisions answered from the shared cache.
     pub cache_hits: u64,
+    /// Cache lookups that fell through to a fresh solve.
+    pub cache_misses: u64,
+    /// Decisions evicted by the cache's FIFO bound.
+    pub cache_evictions: u64,
     /// The framing error that terminated the stream, if any.
     pub frame_error: Option<String>,
 }
 
+/// Latency windows rotated together on the reader's logical tick.
+struct LatencyWindows {
+    /// Enqueue-to-respond latency, µs.
+    request_us: WindowedHistogram,
+    /// `decide_hour` solve time alone, µs.
+    solve_us: WindowedHistogram,
+}
+
+/// Continuous-telemetry state for a server. One instance per [`serve`]
+/// call, or one per *process* under [`serve_unix`] so counters and
+/// latency windows accumulate across connections.
+///
+/// All counter updates happen before the corresponding response frame
+/// is written, so a client that has read `N` decision responses and
+/// then scrapes sees counters covering at least those `N`.
+pub struct ServerTelemetry {
+    epoch: Stopwatch,
+    enabled: bool,
+    latency: Mutex<LatencyWindows>,
+    sink: TraceSink,
+    stream: Mutex<Option<Box<dyn Write + Send>>>,
+    /// Unique engine step-model structure fingerprints, across all
+    /// workers. The set is thread-count-invariant; see the module docs.
+    engine_keys: Mutex<HashSet<u64>>,
+    requests: AtomicU64,
+    control: AtomicU64,
+    decisions: AtomicU64,
+    errors: AtomicU64,
+    frame_errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    engine_hits: AtomicU64,
+    engine_misses: AtomicU64,
+    engine_evictions: AtomicU64,
+}
+
+impl ServerTelemetry {
+    /// Fresh telemetry configured from `cfg` (no stream attached).
+    pub fn new(cfg: &ServeConfig) -> Self {
+        let windows = cfg.latency_windows.max(1);
+        Self {
+            epoch: Stopwatch::start(),
+            enabled: cfg.telemetry,
+            latency: Mutex::new(LatencyWindows {
+                request_us: WindowedHistogram::new(&LATENCY_BOUNDS_US, windows),
+                solve_us: WindowedHistogram::new(&LATENCY_BOUNDS_US, windows),
+            }),
+            sink: TraceSink::new(SINK_CAPACITY),
+            stream: Mutex::new(None),
+            engine_keys: Mutex::new(HashSet::new()),
+            requests: AtomicU64::new(0),
+            control: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            frame_errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            engine_hits: AtomicU64::new(0),
+            engine_misses: AtomicU64::new(0),
+            engine_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches the JSONL stream the sink drains to on each rotation.
+    pub fn with_stream(self, out: Box<dyn Write + Send>) -> Self {
+        *lock(&self.stream) = Some(out);
+        self
+    }
+
+    /// Whether wall-clock instrumentation is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Metrics lines accepted by the sink so far.
+    pub fn sink_emitted(&self) -> u64 {
+        self.sink.emitted()
+    }
+
+    /// Metrics lines the sink had to drop (bounded-memory policy).
+    pub fn sink_dropped(&self) -> u64 {
+        self.sink.dropped()
+    }
+
+    /// Distinct engine step-model structures built so far.
+    pub fn unique_rebuilds(&self) -> u64 {
+        lock(&self.engine_keys).len() as u64
+    }
+
+    fn record_request_us(&self, us: f64) {
+        lock(&self.latency).request_us.record(us);
+    }
+
+    fn record_solve_us(&self, us: f64) {
+        lock(&self.latency).solve_us.record(us);
+    }
+}
+
 struct Queue {
-    frames: VecDeque<Vec<u8>>,
+    /// Frames with their enqueue stamp (present iff telemetry is on).
+    frames: VecDeque<(Vec<u8>, Option<Stopwatch>)>,
     done: bool,
 }
 
-struct Shared<W: Write> {
+struct Shared<'t, W: Write> {
     queue: Mutex<Queue>,
     available: Condvar,
     writer: Mutex<W>,
     cache: Option<Mutex<DecisionCache>>,
+    tele: &'t ServerTelemetry,
     requests: AtomicU64,
     decisions: AtomicU64,
     errors: AtomicU64,
@@ -101,16 +265,25 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-impl<W: Write> Shared<W> {
+impl<W: Write> Shared<'_, W> {
     fn respond(&self, response: &Response) {
+        // Counters move *before* the frame is written so a scrape
+        // issued after reading N responses always covers those N.
+        match response {
+            Response::Decision(_) => {
+                self.decisions.fetch_add(1, Ordering::Relaxed);
+                self.tele.decisions.fetch_add(1, Ordering::SeqCst);
+            }
+            Response::Error { .. } => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.tele.errors.fetch_add(1, Ordering::SeqCst);
+            }
+            Response::Metrics { .. } | Response::Health { .. } => {}
+        }
         let payload = response.to_value().render();
         let mut w = lock(&self.writer);
         let ok = write_frame(&mut *w, payload.as_bytes()).and_then(|()| w.flush());
         drop(w);
-        match response {
-            Response::Decision(_) => self.decisions.fetch_add(1, Ordering::Relaxed),
-            Response::Error { .. } => self.errors.fetch_add(1, Ordering::Relaxed),
-        };
         if ok.is_err() {
             // The client is gone; keep draining the queue so the call
             // terminates, but stop pretending writes matter.
@@ -119,11 +292,162 @@ impl<W: Write> Shared<W> {
     }
 }
 
+/// Builds the degradation reasons a `health` scrape reports.
+fn health_reasons(queue_depth: usize, sink_dropped: u64, frame_errors: u64) -> Vec<String> {
+    let mut reasons = Vec::new();
+    if frame_errors > 0 {
+        reasons.push(format!("{frame_errors} stream framing error(s)"));
+    }
+    if queue_depth > HEALTH_QUEUE_WARN {
+        reasons.push(format!(
+            "queue depth {queue_depth} exceeds {HEALTH_QUEUE_WARN}"
+        ));
+    }
+    if sink_dropped > 0 {
+        reasons.push(format!("trace sink dropped {sink_dropped} metrics line(s)"));
+    }
+    reasons
+}
+
+/// Assembles the versioned metrics document from the telemetry state
+/// and the current connection's queue.
+fn build_doc<W: Write>(
+    cfg: &ServeConfig,
+    shared: &Shared<'_, W>,
+    queue_depth: usize,
+) -> MetricsDoc {
+    let t = shared.tele;
+    let (tick, request_q, solve_q) = {
+        let lat = lock(&t.latency);
+        (
+            lat.request_us.tick(),
+            QuantileSummary::from_histogram(&lat.request_us.merged()),
+            QuantileSummary::from_histogram(&lat.solve_us.merged()),
+        )
+    };
+    let mut doc = MetricsDoc::new(tick, t.epoch.elapsed_ns());
+    let load = |a: &AtomicU64| a.load(Ordering::SeqCst);
+    // Exact work counters: reproducible across thread counts.
+    doc.counters
+        .insert("serve.requests".into(), load(&t.requests));
+    doc.counters
+        .insert("serve.control".into(), load(&t.control));
+    doc.counters
+        .insert("serve.decisions".into(), load(&t.decisions));
+    doc.counters.insert("serve.errors".into(), load(&t.errors));
+    doc.counters
+        .insert("serve.cache.hit".into(), load(&t.cache_hits));
+    doc.counters
+        .insert("serve.cache.miss".into(), load(&t.cache_misses));
+    doc.counters
+        .insert("serve.cache.evict".into(), load(&t.cache_evictions));
+    doc.counters
+        .insert("core.engine.rebuilds_unique".into(), t.unique_rebuilds());
+    doc.counters
+        .insert("serve.sink.emitted".into(), t.sink_emitted());
+    doc.counters
+        .insert("serve.sink.dropped".into(), t.sink_dropped());
+    // Advisory gauges: occupancy and schedule-dependent raw totals.
+    doc.gauges
+        .insert("serve.queue_depth".into(), queue_depth as f64);
+    doc.gauges
+        .insert("serve.workers".into(), cfg.workers.max(1) as f64);
+    if let Some(cache) = &shared.cache {
+        doc.gauges
+            .insert("serve.cache.len".into(), lock(cache).len() as f64);
+    }
+    doc.gauges
+        .insert("core.engine.cache.hit".into(), load(&t.engine_hits) as f64);
+    doc.gauges.insert(
+        "core.engine.cache.miss".into(),
+        load(&t.engine_misses) as f64,
+    );
+    doc.gauges.insert(
+        "core.engine.cache.evict".into(),
+        load(&t.engine_evictions) as f64,
+    );
+    doc.latency.insert("request_us".into(), request_q);
+    doc.latency.insert("solve_us".into(), solve_q);
+    doc
+}
+
+/// Answers a control frame from the reader thread.
+fn answer_control<W: Write>(cfg: &ServeConfig, shared: &Shared<'_, W>, ctl: ControlMsg) {
+    match ctl {
+        ControlMsg::Metrics { id } => {
+            let depth = lock(&shared.queue).frames.len();
+            let doc = build_doc(cfg, shared, depth);
+            shared.respond(&Response::Metrics { id, doc });
+        }
+        ControlMsg::Health { id } => {
+            let depth = lock(&shared.queue).frames.len();
+            let reasons = health_reasons(
+                depth,
+                shared.tele.sink_dropped(),
+                shared.tele.frame_errors.load(Ordering::SeqCst),
+            );
+            shared.respond(&Response::Health {
+                id,
+                ok: reasons.is_empty(),
+                reasons,
+            });
+        }
+    }
+}
+
+/// One window rotation: capture the completed window into a JSONL line
+/// (when a stream is attached), then advance the ring.
+fn emit_window<W: Write>(cfg: &ServeConfig, shared: &Shared<'_, W>) {
+    let tele = shared.tele;
+    let has_stream = lock(&tele.stream).is_some();
+    if has_stream {
+        let depth = lock(&shared.queue).frames.len();
+        let doc = build_doc(cfg, shared, depth);
+        tele.sink.push_line(doc.render_json());
+        let mut stream = lock(&tele.stream);
+        if let Some(out) = stream.as_mut() {
+            let drained = tele.sink.drain_to(out).and_then(|_| out.flush());
+            if drained.is_err() {
+                billcap_obs::counter("serve.stream_write_failed", 1);
+            }
+        }
+    }
+    let mut lat = lock(&tele.latency);
+    lat.request_us.rotate();
+    lat.solve_us.rotate();
+}
+
 /// Runs the server over an arbitrary transport until the reader hits
 /// end-of-stream (or a framing error), then drains the queue and
 /// returns. Panics never escape worker threads for malformed input —
 /// every bad request is answered in-band.
+///
+/// Telemetry is created fresh for this call; to share telemetry across
+/// calls (as [`serve_unix`] does per process), use [`serve_with`].
 pub fn serve<R, W>(cfg: &ServeConfig, reader: R, writer: W) -> ServeStats
+where
+    R: Read + Send,
+    W: Write + Send,
+{
+    let mut tele = ServerTelemetry::new(cfg);
+    if let Some(path) = &cfg.metrics_stream {
+        match std::fs::File::create(path) {
+            Ok(f) => tele = tele.with_stream(Box::new(f)),
+            Err(_) => billcap_obs::counter("serve.stream_open_failed", 1),
+        }
+    }
+    serve_with(cfg, reader, writer, &tele)
+}
+
+/// [`serve`] against caller-owned telemetry. Counters and latency
+/// windows in `tele` accumulate across calls; the returned
+/// [`ServeStats`] still covers only this call.
+pub fn serve_with<R, W>(
+    cfg: &ServeConfig,
+    reader: R,
+    writer: W,
+    tele: &ServerTelemetry,
+) -> ServeStats
 where
     R: Read + Send,
     W: Write + Send,
@@ -139,6 +463,7 @@ where
         cache: cfg
             .cache
             .then(|| Mutex::new(DecisionCache::new(cfg.cache_capacity))),
+        tele,
         requests: AtomicU64::new(0),
         decisions: AtomicU64::new(0),
         errors: AtomicU64::new(0),
@@ -154,37 +479,84 @@ where
         }
     });
 
-    let cache_hits = shared.cache.as_ref().map(|c| lock(c).hits()).unwrap_or(0);
+    // Flush the tail window: work recorded since the last rotation
+    // boundary (or everything, when rotation never fired) would
+    // otherwise never reach the stream. The pool has joined, so this
+    // final line carries the connection's complete counters and the
+    // latency retained in the window ring — a deterministic
+    // end-of-stream summary.
+    if tele.enabled() && lock(&tele.stream).is_some() {
+        emit_window(cfg, &shared);
+    }
+
+    let (cache_hits, cache_misses, cache_evictions) = shared
+        .cache
+        .as_ref()
+        .map(|c| {
+            let c = lock(c);
+            (c.hits(), c.misses(), c.evictions())
+        })
+        .unwrap_or((0, 0, 0));
     let frame_error = lock(&shared.frame_error).clone();
     ServeStats {
         requests: shared.requests.load(Ordering::Relaxed),
         decisions: shared.decisions.load(Ordering::Relaxed),
         errors: shared.errors.load(Ordering::Relaxed),
         cache_hits,
+        cache_misses,
+        cache_evictions,
         frame_error,
     }
 }
 
 fn run_reader<R: Read, W: Write>(
     cfg: &ServeConfig,
-    shared: &Shared<W>,
+    shared: &Shared<'_, W>,
     reader_slot: &Mutex<Option<R>>,
 ) {
     let mut reader = match lock(reader_slot).take() {
         Some(r) => r,
         None => return,
     };
+    let instrumented = shared.tele.enabled();
+    let mut data_frames: u64 = 0;
     loop {
         match read_frame(&mut reader, cfg.max_frame) {
             Ok(Some(frame)) => {
+                if ControlMsg::maybe_control(&frame) {
+                    match ControlMsg::parse(&frame) {
+                        Ok(Some(ctl)) => {
+                            shared.tele.control.fetch_add(1, Ordering::SeqCst);
+                            answer_control(cfg, shared, ctl);
+                            continue;
+                        }
+                        Ok(None) => {} // no "op" key after all: ordinary request
+                        Err(message) => {
+                            shared.respond(&Response::Error {
+                                id: None,
+                                message: format!("bad control frame: {message}"),
+                            });
+                            continue;
+                        }
+                    }
+                }
                 shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.tele.requests.fetch_add(1, Ordering::SeqCst);
+                data_frames += 1;
+                let stamp = instrumented.then(Stopwatch::start);
                 let mut q = lock(&shared.queue);
-                q.frames.push_back(frame);
+                q.frames.push_back((frame, stamp));
                 if billcap_obs::enabled() {
                     billcap_obs::gauge("serve.queue_depth", q.frames.len() as f64);
                 }
                 drop(q);
                 shared.available.notify_one();
+                if instrumented
+                    && cfg.window_requests > 0
+                    && data_frames.is_multiple_of(cfg.window_requests)
+                {
+                    emit_window(cfg, shared);
+                }
             }
             Ok(None) => break,
             Err(e) => {
@@ -196,6 +568,7 @@ fn run_reader<R: Read, W: Write>(
                     other => format!("protocol error: {other}"),
                 };
                 billcap_obs::counter("serve.frame_errors", 1);
+                shared.tele.frame_errors.fetch_add(1, Ordering::SeqCst);
                 *lock(&shared.frame_error) = Some(message.clone());
                 shared.respond(&Response::Error { id: None, message });
                 break;
@@ -206,10 +579,16 @@ fn run_reader<R: Read, W: Write>(
     shared.available.notify_all();
 }
 
-fn run_decider<W: Write>(cfg: &ServeConfig, shared: &Shared<W>) {
-    let mut engines: HashMap<usize, DecisionEngine> = HashMap::new();
+/// A worker's engine plus the stats already folded into telemetry.
+struct EngineState {
+    engine: DecisionEngine,
+    reported: EngineStats,
+}
+
+fn run_decider<W: Write>(cfg: &ServeConfig, shared: &Shared<'_, W>) {
+    let mut engines: HashMap<usize, EngineState> = HashMap::new();
     loop {
-        let frame = {
+        let entry = {
             let mut q = lock(&shared.queue);
             loop {
                 if let Some(f) = q.frames.pop_front() {
@@ -224,15 +603,54 @@ fn run_decider<W: Write>(cfg: &ServeConfig, shared: &Shared<W>) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let Some(frame) = frame else { break };
-        handle_request(cfg, shared, &mut engines, &frame);
+        let Some((frame, stamp)) = entry else { break };
+        handle_request(cfg, shared, &mut engines, &frame, stamp);
+    }
+}
+
+/// Folds the engine's LRU stat deltas and drained structure keys into
+/// the shared telemetry. Draining is unconditional so the engine's
+/// built-key buffer stays bounded on long-lived servers.
+fn sync_engine_telemetry(tele: &ServerTelemetry, state: &mut EngineState) {
+    let cur = state.engine.cache_stats();
+    let hits = cur.hits.saturating_sub(state.reported.hits);
+    let misses = cur.misses.saturating_sub(state.reported.misses);
+    let evictions = cur.evictions.saturating_sub(state.reported.evictions);
+    if hits > 0 {
+        tele.engine_hits.fetch_add(hits, Ordering::SeqCst);
+    }
+    if misses > 0 {
+        tele.engine_misses.fetch_add(misses, Ordering::SeqCst);
+    }
+    if evictions > 0 {
+        tele.engine_evictions.fetch_add(evictions, Ordering::SeqCst);
+    }
+    state.reported = cur;
+    let keys = state.engine.drain_built_keys();
+    if !keys.is_empty() {
+        lock(&tele.engine_keys).extend(keys);
     }
 }
 
 fn handle_request<W: Write>(
     cfg: &ServeConfig,
-    shared: &Shared<W>,
-    engines: &mut HashMap<usize, DecisionEngine>,
+    shared: &Shared<'_, W>,
+    engines: &mut HashMap<usize, EngineState>,
+    frame: &[u8],
+    stamp: Option<Stopwatch>,
+) {
+    handle_request_inner(cfg, shared, engines, frame);
+    if let Some(sw) = stamp {
+        shared
+            .tele
+            .record_request_us(sw.elapsed_ns() as f64 / 1_000.0);
+    }
+}
+
+fn handle_request_inner<W: Write>(
+    cfg: &ServeConfig,
+    shared: &Shared<'_, W>,
+    engines: &mut HashMap<usize, EngineState>,
     frame: &[u8],
 ) {
     let mut span = billcap_obs::span("serve.request");
@@ -251,7 +669,7 @@ fn handle_request<W: Write>(
     span.field("id", req.id as f64);
     span.field("policy", req.policy as f64);
 
-    let engine = engines.entry(req.policy).or_insert_with(|| {
+    let state = engines.entry(req.policy).or_insert_with(|| {
         let system = DataCenterSystem::paper_system(req.policy);
         let mut e = DecisionEngine::new(
             system,
@@ -260,12 +678,15 @@ fn handle_request<W: Write>(
             },
         );
         e.set_reuse_basis(cfg.reuse_basis);
-        e
+        EngineState {
+            engine: e,
+            reported: EngineStats::default(),
+        }
     });
 
     let key = shared.cache.as_ref().map(|_| {
         DecisionKey::new(
-            engine.system(),
+            state.engine.system(),
             cfg.integral_servers,
             req.offered,
             req.premium_offered,
@@ -274,7 +695,9 @@ fn handle_request<W: Write>(
         )
     });
     if let (Some(cache), Some(key)) = (&shared.cache, &key) {
-        if let Some(hit) = lock(cache).get(key) {
+        let hit = lock(cache).get(key);
+        if let Some(hit) = hit {
+            shared.tele.cache_hits.fetch_add(1, Ordering::SeqCst);
             span.field("cached", 1.0);
             drop(span);
             shared.respond(&Response::Decision(DecisionMsg::from_decision(
@@ -282,20 +705,40 @@ fn handle_request<W: Write>(
             )));
             return;
         }
+        shared.tele.cache_misses.fetch_add(1, Ordering::SeqCst);
     }
 
-    match engine.decide_hour(
+    let solve_watch = shared.tele.enabled().then(Stopwatch::start);
+    let result = state.engine.decide_hour(
         req.offered,
         req.premium_offered,
         &req.background_mw,
         req.hourly_budget,
-    ) {
+    );
+    if let Some(sw) = solve_watch {
+        shared
+            .tele
+            .record_solve_us(sw.elapsed_ns() as f64 / 1_000.0);
+    }
+    sync_engine_telemetry(shared.tele, state);
+
+    match result {
         Ok(decision) => {
             span.field("cost", decision.allocation.total_cost);
             span.field("solves", decision.trace.solves as f64);
             drop(span);
             if let (Some(cache), Some(key)) = (&shared.cache, key) {
-                lock(cache).insert(key, decision.clone());
+                let mut c = lock(cache);
+                let before = c.evictions();
+                c.insert(key, decision.clone());
+                let evicted = c.evictions().saturating_sub(before);
+                drop(c);
+                if evicted > 0 {
+                    shared
+                        .tele
+                        .cache_evictions
+                        .fetch_add(evicted, Ordering::SeqCst);
+                }
             }
             shared.respond(&Response::Decision(DecisionMsg::from_decision(
                 req.id, &decision, false,
@@ -317,6 +760,10 @@ fn handle_request<W: Write>(
 /// after the first connection closes — the mode the tests and the CLI's
 /// one-shot invocations use. A pre-existing socket file at `path` is
 /// replaced.
+///
+/// One [`ServerTelemetry`] spans every connection, so a later `watch`
+/// connection scrapes counters and latency windows accumulated by
+/// earlier replay connections.
 #[cfg(unix)]
 pub fn serve_unix(
     cfg: &ServeConfig,
@@ -328,11 +775,15 @@ pub fn serve_unix(
         std::fs::remove_file(path)?;
     }
     let listener = UnixListener::bind(path)?;
+    let mut tele = ServerTelemetry::new(cfg);
+    if let Some(stream_path) = &cfg.metrics_stream {
+        tele = tele.with_stream(Box::new(std::fs::File::create(stream_path)?));
+    }
     let mut all = Vec::new();
     loop {
         let (stream, _addr) = listener.accept()?;
         let reader = stream.try_clone()?;
-        all.push(serve(cfg, reader, stream));
+        all.push(serve_with(cfg, reader, stream, &tele));
         if once {
             return Ok(all);
         }
@@ -411,6 +862,8 @@ mod tests {
         let stats = serve(&one_worker(), Cursor::new(input), &mut out);
         assert_eq!(stats.decisions, 3);
         assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_evictions, 0);
         let sys = DataCenterSystem::paper_system(1);
         let expected = BillCapper::default()
             .decide_hour(&sys, 5e8, 3e8, &[330.0, 410.0, 280.0], f64::INFINITY)
@@ -490,6 +943,169 @@ mod tests {
         assert_eq!(ids, (0..12).collect::<Vec<u64>>());
     }
 
+    #[test]
+    fn metrics_frame_is_answered_in_band() {
+        // Three decide requests then a metrics scrape. The reader has
+        // enqueued (and counted) all three data frames before it can
+        // read the scrape, so `serve.requests` is exact even though the
+        // decisions may still be in flight at scrape time.
+        let mut input = encode(&[request(1), request(2), request(3)]);
+        write_frame(
+            &mut input,
+            ControlMsg::Metrics { id: Some(99) }
+                .to_value()
+                .render()
+                .as_bytes(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let stats = serve(&one_worker(), Cursor::new(input), &mut out);
+        assert_eq!(stats.requests, 3, "control frames are not data requests");
+        assert_eq!(stats.decisions, 3);
+        let doc = responses(&out)
+            .into_iter()
+            .find_map(|r| match r {
+                Response::Metrics { id, doc } => {
+                    assert_eq!(id, Some(99));
+                    Some(doc)
+                }
+                _ => None,
+            })
+            .expect("a metrics response");
+        assert_eq!(doc.version, billcap_obs::METRICS_VERSION);
+        assert_eq!(doc.counters["serve.requests"], 3);
+        assert_eq!(doc.counters["serve.control"], 1);
+        assert!(doc.counters.contains_key("core.engine.rebuilds_unique"));
+        assert!(doc.latency.contains_key("request_us"));
+        assert!(doc.latency.contains_key("solve_us"));
+    }
+
+    #[test]
+    fn health_frame_reports_ok_on_a_quiet_server() {
+        let mut input = Vec::new();
+        write_frame(
+            &mut input,
+            ControlMsg::Health { id: None }
+                .to_value()
+                .render()
+                .as_bytes(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let stats = serve(&one_worker(), Cursor::new(input), &mut out);
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.decisions, 0);
+        match responses(&out).as_slice() {
+            [Response::Health { ok, reasons, .. }] => {
+                assert!(*ok, "unexpected degradation: {reasons:?}");
+                assert!(reasons.is_empty());
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_control_op_is_answered_with_an_error() {
+        let mut input = Vec::new();
+        write_frame(&mut input, br#"{"op":"reboot"}"#).unwrap();
+        let mut out = Vec::new();
+        let stats = serve(&one_worker(), Cursor::new(input), &mut out);
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.errors, 1);
+        assert!(responses(&out)
+            .iter()
+            .any(|r| matches!(r, Response::Error { message, .. } if message.contains("control"))));
+    }
+
+    #[test]
+    fn health_reasons_cover_every_degradation() {
+        assert!(health_reasons(0, 0, 0).is_empty());
+        let degraded = health_reasons(HEALTH_QUEUE_WARN + 1, 2, 1);
+        assert_eq!(degraded.len(), 3);
+        assert!(degraded[0].contains("framing"));
+        assert!(degraded[1].contains("queue depth"));
+        assert!(degraded[2].contains("dropped 2"));
+    }
+
+    #[test]
+    fn window_rotation_streams_parseable_metrics_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "billcap-metrics-stream-{}.jsonl",
+            std::process::id()
+        ));
+        let cfg = ServeConfig {
+            workers: 1,
+            window_requests: 2,
+            metrics_stream: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let input = encode(&(0..5).map(request).collect::<Vec<_>>());
+        let mut out = Vec::new();
+        let stats = serve(&cfg, Cursor::new(input), &mut out);
+        assert_eq!(stats.decisions, 5);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let docs: Vec<MetricsDoc> = text
+            .lines()
+            .map(|l| MetricsDoc::parse_json(l).unwrap())
+            .collect();
+        // Rotations fire after data frames 2 and 4, and the tail
+        // window (request 5 plus everything the deciders finished
+        // after the last boundary) is flushed at end of stream.
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].tick, 0);
+        assert_eq!(docs[1].tick, 1);
+        assert_eq!(docs[1].counters["serve.requests"], 4);
+        assert_eq!(docs[1].counters["serve.sink.dropped"], 0);
+        let last = &docs[2];
+        assert_eq!(last.tick, 2);
+        assert_eq!(last.counters["serve.requests"], 5);
+        assert_eq!(last.counters["serve.decisions"], 5);
+        // The pool joined before the final flush: the summary line
+        // carries every latency observation. All five requests repeat
+        // the same hour, so only the first actually solves — solve-only
+        // latency excludes cache hits by design.
+        assert_eq!(last.latency["request_us"].count, 5);
+        assert_eq!(last.latency["solve_us"].count, 1);
+        assert_eq!(last.counters["serve.cache.hit"], 4);
+    }
+
+    #[test]
+    fn telemetry_disabled_still_counts_work_exactly() {
+        let cfg = ServeConfig {
+            workers: 1,
+            telemetry: false,
+            ..ServeConfig::default()
+        };
+        let mut input = encode(&[request(1), request(2)]);
+        write_frame(
+            &mut input,
+            ControlMsg::Metrics { id: None }
+                .to_value()
+                .render()
+                .as_bytes(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let stats = serve(&cfg, Cursor::new(input), &mut out);
+        assert_eq!(stats.decisions, 2);
+        assert_eq!(stats.cache_hits, 1);
+        let doc = responses(&out)
+            .into_iter()
+            .find_map(|r| match r {
+                Response::Metrics { doc, .. } => Some(doc),
+                _ => None,
+            })
+            .expect("a metrics response");
+        // Work counters stay exact with instrumentation off...
+        assert_eq!(doc.counters["serve.requests"], 2);
+        // ...only the wall-clock series go quiet.
+        assert_eq!(doc.latency["request_us"].count, 0);
+        assert_eq!(doc.latency["solve_us"].count, 0);
+        assert_eq!(doc.tick, 0);
+    }
+
     #[cfg(unix)]
     #[test]
     fn unix_socket_round_trip() {
@@ -536,5 +1152,84 @@ mod tests {
             other => panic!("got {other:?}"),
         }
         assert_eq!(lock(&server_stats)[0].decisions, 1);
+    }
+
+    /// The acceptance shape in miniature: a client that has read every
+    /// decision response and then scrapes sees counters equal to the
+    /// final [`ServeStats`].
+    #[cfg(unix)]
+    #[test]
+    fn scrape_after_all_responses_matches_serve_stats() {
+        use std::io::Write as _;
+        use std::os::unix::net::UnixStream;
+        let path =
+            std::env::temp_dir().join(format!("billcap-serve-scrape-{}.sock", std::process::id()));
+        let path_clone = path.clone();
+        let cfg = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let scraped: Mutex<Option<MetricsDoc>> = Mutex::new(None);
+        let server_stats: Mutex<Vec<ServeStats>> = Mutex::new(Vec::new());
+        run_workers(2, |w| {
+            if w == 0 {
+                let stats = serve_unix(&cfg, &path_clone, true).unwrap();
+                *lock(&server_stats) = stats;
+            } else {
+                let mut tries = 0;
+                let stream = loop {
+                    match UnixStream::connect(&path) {
+                        Ok(s) => break s,
+                        Err(_) if tries < 200 => {
+                            tries += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("connect: {e}"),
+                    }
+                };
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = stream;
+                // Distinct requests (no cache hits), answered out of
+                // order is fine — read until all six are in.
+                for id in 0..6u64 {
+                    let mut r = request(id);
+                    r.offered += id as f64; // distinct keys
+                    write_frame(&mut writer, r.to_value().render().as_bytes()).unwrap();
+                }
+                writer.flush().unwrap();
+                for _ in 0..6 {
+                    let frame = read_frame(&mut reader, MAX_FRAME).unwrap().unwrap();
+                    match Response::parse(&frame).unwrap() {
+                        Response::Decision(_) => {}
+                        other => panic!("got {other:?}"),
+                    }
+                }
+                // All responses read: the scrape must show final totals.
+                write_frame(
+                    &mut writer,
+                    ControlMsg::Metrics { id: Some(1) }
+                        .to_value()
+                        .render()
+                        .as_bytes(),
+                )
+                .unwrap();
+                writer.flush().unwrap();
+                let frame = read_frame(&mut reader, MAX_FRAME).unwrap().unwrap();
+                match Response::parse(&frame).unwrap() {
+                    Response::Metrics { doc, .. } => *lock(&scraped) = Some(doc),
+                    other => panic!("got {other:?}"),
+                }
+            }
+        });
+        let _ = std::fs::remove_file(&path);
+        let doc = lock(&scraped).take().expect("scrape arrived");
+        let stats = lock(&server_stats)[0].clone();
+        assert_eq!(doc.counters["serve.requests"], stats.requests);
+        assert_eq!(doc.counters["serve.decisions"], stats.decisions);
+        assert_eq!(doc.counters["serve.errors"], stats.errors);
+        assert_eq!(doc.counters["serve.cache.hit"], stats.cache_hits);
+        assert_eq!(doc.counters["serve.cache.miss"], stats.cache_misses);
+        assert_eq!(doc.counters["serve.cache.evict"], stats.cache_evictions);
+        assert_eq!(stats.decisions, 6);
     }
 }

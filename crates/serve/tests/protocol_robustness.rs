@@ -56,7 +56,7 @@ fn decision_ids(responses: &[Response]) -> Vec<u64> {
         .iter()
         .filter_map(|r| match r {
             Response::Decision(m) => Some(m.id),
-            Response::Error { .. } => None,
+            _ => None,
         })
         .collect();
     ids.sort_unstable();
@@ -150,7 +150,7 @@ fn semantic_errors_carry_the_request_id() {
         .iter()
         .filter_map(|r| match r {
             Response::Error { id, .. } => *id,
-            Response::Decision(_) => None,
+            _ => None,
         })
         .collect();
     error_ids.sort_unstable();

@@ -44,6 +44,21 @@ fn replay_and_verify(workers: usize, cache: bool) {
     });
     assert_eq!(outcome.stats.decisions as usize, HOURS);
     assert_eq!(outcome.stats.errors, 0);
+    // The cache counters are exact work counts: 168 distinct hours mean
+    // 168 misses, zero hits, and (capacity 744 > 168) zero evictions —
+    // at every worker count.
+    if cache {
+        assert_eq!(outcome.stats.cache_hits, 0, "workers={workers}");
+        assert_eq!(
+            outcome.stats.cache_misses, HOURS as u64,
+            "workers={workers}"
+        );
+        assert_eq!(outcome.stats.cache_evictions, 0, "workers={workers}");
+    } else {
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert_eq!(outcome.stats.cache_misses, 0);
+        assert_eq!(outcome.stats.cache_evictions, 0);
+    }
 }
 
 #[test]
@@ -88,6 +103,10 @@ fn cached_second_pass_stays_bitwise_identical() {
         "expected >= {HOURS} cache hits, got {}",
         stats.cache_hits
     );
+    // Every lookup is either a hit or a miss; nothing is ever evicted
+    // (2*168 requests name only 168 distinct keys, capacity 744).
+    assert_eq!(stats.cache_hits + stats.cache_misses, 2 * HOURS as u64);
+    assert_eq!(stats.cache_evictions, 0);
 
     let mut per_hour_count = vec![0usize; HOURS];
     let mut cur = Cursor::new(out);
@@ -100,6 +119,7 @@ fn cached_second_pass_stays_bitwise_identical() {
                     .unwrap_or_else(|e| panic!("hour {t} (cached={}): {e}", msg.cached));
             }
             Response::Error { id, message } => panic!("error for {id:?}: {message}"),
+            other => panic!("unexpected control response: {other:?}"),
         }
     }
     assert!(
