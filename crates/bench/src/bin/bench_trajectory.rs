@@ -178,6 +178,7 @@ fn traced_reference_run() -> Result<TraceAggregates, String> {
 
 fn run() -> Result<(), String> {
     let mut out: Option<String> = None;
+    // detlint-allow(D004): CLI argv parsing in the bench binary; not decision state
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {

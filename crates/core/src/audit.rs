@@ -39,6 +39,7 @@ use std::fmt;
 /// (any non-empty value other than `0`). Tests set it to exercise the
 /// certification layer on every solve; the CLI `--audit` flag forces it.
 pub fn audit_env_enabled() -> bool {
+    // detlint-allow(D004): BILLCAP_AUDIT toggles an advisory certification log, never the decision
     std::env::var("BILLCAP_AUDIT").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 

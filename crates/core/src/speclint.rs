@@ -246,6 +246,7 @@ fn lint_policy(i: usize, policy: &billcap_market::StepPolicy, findings: &mut Vec
 /// weekly budget across hours; a bad sum silently re-scales the budget).
 pub fn lint_budget_weights(weights: &[f64]) -> SpecReport {
     let mut findings = Vec::new();
+    // detlint-allow(D006): sequential fixed-order sum over a short weight slice; bitwise-stable
     let sum: f64 = weights.iter().sum();
     if !sum.is_finite() || (sum - 1.0).abs() > 1e-6 {
         findings.push(Finding {
@@ -350,6 +351,7 @@ pub enum LintMode {
 /// `deny` (or the CLI `--lint` flag, which sets it) refuses bad models,
 /// `warn`/`1` prints and proceeds, anything else is off.
 pub fn lint_env_mode() -> LintMode {
+    // detlint-allow(D004): BILLCAP_LINT selects diagnostic strictness, not decision inputs
     match std::env::var("BILLCAP_LINT") {
         Ok(v) if v == "deny" => LintMode::Deny,
         Ok(v) if v == "warn" || v == "1" => LintMode::Warn,

@@ -1,0 +1,45 @@
+//! Seeded-violation fixture: tainted helpers reached from alpha's root
+//! through a multi-hop chain, plus one unreachable taint that must stay
+//! silent.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Stamps a sample, mixing in ambient state (deliberately tainted).
+pub fn stamp() -> f64 {
+    let base = inner_clock();
+    base + config() + thread_tag()
+}
+
+fn inner_clock() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+fn config() -> f64 {
+    match std::env::var("BETA_SCALE") {
+        Ok(v) => v.len() as f64,
+        Err(_) => 1.0,
+    }
+}
+
+fn thread_tag() -> f64 {
+    let name_len = std::thread::current().name().map_or(0, str::len);
+    name_len as f64
+}
+
+/// Hashes a seed with the default random-state hasher.
+pub fn seeded_hash(seed: u64) -> f64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    h.finish() as f64
+}
+
+/// Never called from any root: its wall-clock read must not be
+/// reported.
+pub fn dead_clock() -> f64 {
+    use std::time::SystemTime;
+    let _ = SystemTime::now();
+    0.0
+}

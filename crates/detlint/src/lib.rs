@@ -1,0 +1,64 @@
+//! detlint: call-graph-aware determinism static analyzer for the
+//! billcap workspace.
+//!
+//! Every subsystem since the decision server stakes its correctness on
+//! bitwise determinism — the serve differential replay, the risk-engine
+//! digest, thread-count-invariant telemetry counters. Those contracts
+//! are enforced *dynamically* by tests; detlint proves the complement
+//! *statically*: no nondeterminism source is reachable from a declared
+//! decision root.
+//!
+//! # Passes
+//!
+//! 1. **Lex** ([`lex`]): strip comments and literals, track
+//!    `#[cfg(test)]` regions, collect `// detlint-allow(code): reason`
+//!    waivers.
+//! 2. **Parse** ([`parse`]): a lightweight item parser producing a
+//!    per-crate symbol table (fns, impls, `use` imports, hash-typed
+//!    identifier declarations).
+//! 3. **Graph** ([`analyze`]): a conservative call graph across all
+//!    workspace crates. Method calls link by name, qualified calls
+//!    prefer the typed index, bare calls consult `use` imports.
+//!    Over-approximation is sound: an extra edge can only mark more
+//!    functions reachable, never invent a taint site.
+//! 4. **Taint + reachability**: mark nondeterminism sources and report
+//!    those reachable from the determinism roots, with the call chain.
+//!
+//! # Finding codes
+//!
+//! | code | rule            | fires on                                        |
+//! |------|-----------------|-------------------------------------------------|
+//! | D001 | hash-iter       | iteration over `HashMap`/`HashSet`              |
+//! | D002 | random-hash     | `RandomState`/`DefaultHasher` keyed into output |
+//! | D003 | wall-clock      | `Instant::now` / `SystemTime::now`              |
+//! | D004 | env-read        | `env::var` / `env::args` / `env::vars`          |
+//! | D005 | thread-id       | `thread::current`                               |
+//! | D006 | float-reduction | float `.sum()` / `fold(0.0, +)` not using a     |
+//! |      |                 | compensated summation                           |
+//! | D007 | root-missing    | a declared root matched no workspace function   |
+//! | D008 | waiver-hygiene  | stale waiver, unknown code, or missing reason   |
+//!
+//! D001–D006 findings are *reachability-gated*: a taint site in a
+//! function no decision root can reach is not reported. Waivers are
+//! not gated — a waiver that suppresses a site in a currently
+//! unreachable function still counts as used, so refactors that move a
+//! function out of a decision path do not instantly turn its waivers
+//! into D008 noise.
+//!
+//! # Waivers
+//!
+//! `// detlint-allow(D003): advisory wall-clock telemetry` on the site
+//! line or the directly preceding comment line. The reason after the
+//! colon is mandatory (D008 otherwise); doc comments never mint
+//! waivers, so documentation may show the syntax without waiving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod lex;
+pub mod parse;
+pub mod report;
+
+pub use analyze::{analyze, default_roots, Report, RootSpec};
+pub use report::{to_jsonl, Code, Finding};

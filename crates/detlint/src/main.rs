@@ -1,0 +1,176 @@
+//! Command-line front end for the detlint determinism analyzer.
+//!
+//! ```text
+//! detlint [ROOT] [--deny] [--json FILE|-] [--roots name,Type::name,...]
+//! ```
+//!
+//! - `ROOT` defaults to `.` and must contain the workspace (a root
+//!   package and/or a `crates/` directory).
+//! - `--deny` exits 1 when any unwaived finding remains (CI mode);
+//!   without it the tool reports and exits 0.
+//! - `--json FILE` writes findings as JSONL (`-` for stdout).
+//! - `--roots` replaces the built-in determinism root set.
+//!
+//! Exit codes: 0 clean (or report-only), 1 findings under `--deny`,
+//! 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use detlint::analyze::{analyze, default_roots, Report, RootSpec};
+use detlint::report::to_jsonl;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    deny: bool,
+    json: Option<String>,
+    roots: Vec<RootSpec>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        deny: false,
+        json: None,
+        roots: default_roots(),
+    };
+    let mut saw_root = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => {
+                opts.json = Some(
+                    it.next()
+                        .ok_or_else(|| "--json requires a file path or -".to_string())?
+                        .clone(),
+                );
+            }
+            "--roots" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| "--roots requires a comma-separated list".to_string())?;
+                opts.roots = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(RootSpec::parse)
+                    .collect();
+                if opts.roots.is_empty() {
+                    return Err("--roots list is empty".to_string());
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: detlint [ROOT] [--deny] [--json FILE|-] [--roots a,b]".into())
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if saw_root {
+                    return Err(format!("unexpected positional argument `{path}`"));
+                }
+                opts.root = PathBuf::from(path);
+                saw_root = true;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn emit(out: &mut impl Write, report: &Report, opts: &Options) -> std::io::Result<()> {
+    for f in &report.findings {
+        writeln!(out, "{}", f.render())?;
+    }
+    if opts.json.as_deref() == Some("-") {
+        write!(out, "{}", to_jsonl(&report.findings))?;
+    }
+    writeln!(
+        out,
+        "detlint: {} files, {} fns, {} edges, {} reachable, {} waivers; {} finding(s)",
+        report.files,
+        report.symbols,
+        report.edges,
+        report.reachable,
+        report.waivers,
+        report.findings.len()
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze(&opts.root, &opts.roots) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(dest) = &opts.json {
+        if dest != "-" {
+            if let Err(e) = std::fs::write(dest, to_jsonl(&report.findings)) {
+                eprintln!("detlint: write {dest}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // A closed pipe (`detlint . | head`) is not an error: stop writing,
+    // keep the computed exit code.
+    if let Err(e) = emit(&mut std::io::stdout().lock(), &report, &opts) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("detlint: stdout: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if opts.deny && !report.findings.is_empty() {
+        eprintln!(
+            "detlint: {} finding(s) in deny mode — fix or waive with `// detlint-allow(code): reason`",
+            report.findings.len()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_report_mode_with_builtin_roots() {
+        let o = parse_args(&sv(&[])).unwrap();
+        assert!(!o.deny);
+        assert!(o.json.is_none());
+        assert_eq!(o.root, PathBuf::from("."));
+        assert!(!o.roots.is_empty());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse_args(&sv(&["ws", "--deny", "--json", "-", "--roots", "a,B::c"])).unwrap();
+        assert!(o.deny);
+        assert_eq!(o.json.as_deref(), Some("-"));
+        assert_eq!(o.root, PathBuf::from("ws"));
+        assert_eq!(o.roots.len(), 2);
+        assert_eq!(o.roots[1].type_name.as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn bad_flags_error() {
+        assert!(parse_args(&sv(&["--json"])).is_err());
+        assert!(parse_args(&sv(&["--nope"])).is_err());
+        assert!(parse_args(&sv(&["a", "b"])).is_err());
+        assert!(parse_args(&sv(&["--roots", ""])).is_err());
+    }
+}

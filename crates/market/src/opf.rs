@@ -87,6 +87,7 @@ impl OpfSolver {
         loads_mw: &[f64],
     ) -> Result<(DispatchResult, Vec<f64>, Vec<Option<(usize, usize)>>), OpfError> {
         assert_eq!(loads_mw.len(), self.grid.buses.len(), "load vector size");
+        // detlint-allow(D006): sequential fixed-order sum over bus loads; bitwise-stable
         let total_load: f64 = loads_mw.iter().sum();
 
         let mut m = Model::new("dispatch", Sense::Minimize);

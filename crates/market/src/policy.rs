@@ -125,6 +125,7 @@ impl StepPolicy {
     /// Mean of the level prices — the price constant assumed by
     /// Min-Only (Avg).
     pub fn avg_price(&self) -> f64 {
+        // detlint-allow(D006): sequential fixed-order sum over the fixed price ladder; bitwise-stable
         self.prices.iter().sum::<f64>() / self.prices.len() as f64
     }
 
@@ -175,6 +176,7 @@ impl StepPolicy {
         let mut level_prices = vec![series[0].1];
         for w in series.windows(2) {
             let (load, price) = w[1];
+            // detlint-allow(D006): sequential fixed-order sum over a level window; bitwise-stable
             let current_mean: f64 = level_prices.iter().sum::<f64>() / level_prices.len() as f64;
             if (price - current_mean).abs() > price_tol {
                 prices.push(current_mean);
@@ -183,6 +185,7 @@ impl StepPolicy {
             }
             level_prices.push(price);
         }
+        // detlint-allow(D006): sequential fixed-order sum over a level window; bitwise-stable
         prices.push(level_prices.iter().sum::<f64>() / level_prices.len() as f64);
         Self {
             breakpoints,

@@ -81,6 +81,7 @@ pub struct MipSolver {
 /// disabled only by an explicit `0` (the cold path then serves as a
 /// differential oracle in CI).
 fn warmstart_env() -> bool {
+    // detlint-allow(D004): BILLCAP_WARMSTART gates a speedup whose output the differential oracle proves identical
     !matches!(std::env::var("BILLCAP_WARMSTART"), Ok(v) if v == "0")
 }
 

@@ -32,7 +32,7 @@ use crate::model::{ConstraintOp, Model, VarType};
 use crate::presolve::propagate_bounds;
 use crate::SolveError;
 use billcap_obs::json::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Row coefficient dynamic range (`max|a| / min|a|`) above which M001
@@ -342,7 +342,7 @@ fn check_parallel_rows(model: &Model, findings: &mut Vec<Finding>) {
     // Normalize each row: terms sorted by variable, scaled so the first
     // coefficient is +1. The scale flips Le/Ge when negative.
     type Key = Vec<(usize, u64)>;
-    let mut groups: HashMap<Key, Vec<(usize, ConstraintOp, f64)>> = HashMap::new();
+    let mut groups: BTreeMap<Key, Vec<(usize, ConstraintOp, f64)>> = BTreeMap::new();
     for (ci, c) in model.constraints().iter().enumerate() {
         let mut terms: Vec<(usize, f64)> = c
             .terms

@@ -363,6 +363,7 @@ impl Model {
                 .objective
                 .iter()
                 .map(|&(v, c)| c * values[v.0])
+                // detlint-allow(D006): sequential fixed-order objective dot product; bitwise-stable
                 .sum::<f64>()
     }
 

@@ -89,6 +89,7 @@ pub const TRACE_ENV: &str = "BILLCAP_TRACE";
 static STATE: AtomicU8 = AtomicU8::new(0);
 
 fn init_state_from_env() -> u8 {
+    // detlint-allow(D004): BILLCAP_TRACE toggles advisory tracing only
     let on = match std::env::var(TRACE_ENV) {
         Ok(v) => !v.is_empty() && v != "0",
         Err(_) => false,

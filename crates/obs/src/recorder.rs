@@ -121,6 +121,7 @@ impl Recorder {
         Self {
             shared: Arc::new(SharedRec {
                 id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                // detlint-allow(D003): advisory telemetry epoch; durations never feed decision output
                 epoch: Instant::now(),
                 agg: Mutex::new(TraceSnapshot::default()),
                 next_thread: AtomicU64::new(0),
@@ -132,6 +133,7 @@ impl Recorder {
     /// this thread. The span closes (and records its duration) when the
     /// returned guard drops.
     pub fn span(&self, name: &str) -> Span {
+        // detlint-allow(D003): span timing is advisory telemetry, excluded from replay digests
         let start = Instant::now();
         let (path, start_ns) = with_collector(&self.shared, |c| {
             let path = if let Some(parent) = c.stack.last() {

@@ -21,6 +21,7 @@ impl Stopwatch {
     /// Starts the clock.
     pub fn start() -> Self {
         Stopwatch {
+            // detlint-allow(D003): stopwatch exists to measure wall time; consumers are telemetry-only
             start: Instant::now(),
         }
     }

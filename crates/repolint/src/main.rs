@@ -29,6 +29,15 @@
 //! // repolint-allow(unwrap): length checked two lines above
 //! ```
 //!
+//! Waivers are themselves linted (`stale-waiver`): a `repolint-allow`
+//! whose pattern no longer matches anything suppresses nothing and is
+//! reported at its own line, so refactors cannot leave dead waivers
+//! behind. A waiver counts as used when its *pattern* matches, even if
+//! the rule does not apply to that file — moving a waived line between
+//! library and binary code does not make the waiver stale. Doc comments
+//! (`///`, `//!`) never mint waivers, so documentation may show the
+//! syntax (as above) without creating one.
+//!
 //! Usage: `repolint [workspace-root]` — prints `path:line: [rule] msg`
 //! per violation and exits non-zero if any were found.
 
@@ -173,6 +182,16 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+/// A `repolint-allow` waiver and the line it was written on.
+#[derive(Clone)]
+struct Waiver {
+    /// The waived rule name.
+    rule: String,
+    /// 1-based line the waiver comment sits on (its origin, even when
+    /// the waiver carries forward to the next code line).
+    line: usize,
+}
+
 /// One source line after lexical stripping.
 struct CodeLine {
     /// Line number (1-based).
@@ -181,7 +200,7 @@ struct CodeLine {
     code: String,
     /// Rules waived on this line via `repolint-allow(...)` comments
     /// (here or on the directly preceding line).
-    waived: Vec<String>,
+    waived: Vec<Waiver>,
     /// Whether the line is inside a `#[cfg(test)]` item.
     in_test: bool,
     /// Whether the line is inside a `repolint-hot-start` … `-hot-end`
@@ -197,41 +216,90 @@ fn check_file(
     spawn_applies: bool,
     violations: &mut Vec<String>,
 ) {
-    for line in lex(text) {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let lines = lex(text);
+    // Every waiver minted in the file, keyed by (origin line, rule),
+    // with whether its origin sits in test code (test waivers are inert
+    // and exempt from staleness).
+    let mut registry: BTreeMap<(usize, String), bool> = BTreeMap::new();
+    for line in &lines {
+        for w in &line.waived {
+            registry
+                .entry((w.line, w.rule.clone()))
+                .or_insert(line.in_test);
+        }
+    }
+    let mut used: BTreeSet<(usize, String)> = BTreeSet::new();
+
+    for line in &lines {
+        // Which rule patterns match this line, independent of whether
+        // the rule applies here: a waiver over a matching pattern is
+        // "used" even when the rule is off for this file, so moving a
+        // waived line between library and binary code never strands it.
+        let mut matched: Vec<&str> = Vec::new();
+        if line.code.contains(".unwrap()") || line.code.contains(".expect(") {
+            matched.push("unwrap");
+        }
+        if line.code.contains("Instant::now") || line.code.contains("SystemTime") {
+            matched.push("timing");
+        }
+        if line.code.contains("thread::spawn") {
+            matched.push("thread-spawn");
+        }
+        if line.hot && (line.code.contains("Vec::new()") || line.code.contains("vec![")) {
+            matched.push("hot-alloc");
+        }
+        for rule in &matched {
+            for w in &line.waived {
+                if w.rule == *rule {
+                    used.insert((w.line, w.rule.clone()));
+                }
+            }
+        }
         if line.in_test {
             continue;
         }
+        let waived = |rule: &str| line.waived.iter().any(|w| w.rule == rule);
         let mut report = |rule: &str, message: &str| {
-            if !line.waived.iter().any(|w| w == rule) {
+            if !waived(rule) {
                 violations.push(format!("{path}:{}: [{rule}] {message}", line.number));
             }
         };
-        if unwrap_applies && (line.code.contains(".unwrap()") || line.code.contains(".expect(")) {
+        if unwrap_applies && matched.contains(&"unwrap") {
             report(
                 "unwrap",
                 "unwrap()/expect() in library code; return a Result or waive with a reason",
             );
         }
-        if timing_applies
-            && (line.code.contains("Instant::now") || line.code.contains("SystemTime"))
-        {
+        if timing_applies && matched.contains(&"timing") {
             report(
                 "timing",
                 "wall-clock read outside billcap-obs/billcap-rt; use billcap_obs::Stopwatch",
             );
         }
-        if spawn_applies && line.code.contains("thread::spawn") {
+        if spawn_applies && matched.contains(&"thread-spawn") {
             report(
                 "thread-spawn",
                 "raw thread outside billcap-rt; use the runtime crate's scoped pools",
             );
         }
-        if line.hot && (line.code.contains("Vec::new()") || line.code.contains("vec![")) {
+        if matched.contains(&"hot-alloc") {
             report(
                 "hot-alloc",
                 "allocation inside a marked hot loop; hoist it into a reusable \
                  scratch buffer (see MonthScratch) or waive with a reason",
             );
+        }
+    }
+
+    // Stale-waiver hygiene: a waiver that suppressed nothing is itself
+    // a violation, reported at its own line.
+    for ((line, rule), in_test) in &registry {
+        if !in_test && !used.contains(&(*line, rule.clone())) {
+            violations.push(format!(
+                "{path}:{line}: [stale-waiver] repolint-allow({rule}) suppresses nothing; remove it"
+            ));
         }
     }
 }
@@ -248,7 +316,7 @@ fn lex(text: &str) -> Vec<CodeLine> {
     // A `#[cfg(test)]` attribute was seen; the next `{` opens its body.
     let mut pending_test = false;
     let mut in_block_comment = false;
-    let mut prev_waivers: Vec<String> = Vec::new();
+    let mut prev_waivers: Vec<Waiver> = Vec::new();
     // While true, lines are inside a `repolint-hot-start` region.
     let mut in_hot = false;
 
@@ -271,12 +339,21 @@ fn lex(text: &str) -> Vec<CodeLine> {
             match c {
                 '/' if chars.peek() == Some(&'/') => {
                     // Line comment: scan it for waiver and hot-region
-                    // directives, drop the rest.
+                    // directives, drop the rest. Doc comments (`///`,
+                    // `//!`) are prose and never mint waivers, so the
+                    // documented example above stays inert.
+                    chars.next();
                     let comment: String = chars.collect();
-                    if let Some(pos) = comment.find("repolint-allow(") {
-                        let tail = &comment[pos + "repolint-allow(".len()..];
-                        if let Some(end) = tail.find(')') {
-                            waivers.push(tail[..end].trim().to_string());
+                    let is_doc = comment.starts_with('/') || comment.starts_with('!');
+                    if !is_doc {
+                        if let Some(pos) = comment.find("repolint-allow(") {
+                            let tail = &comment[pos + "repolint-allow(".len()..];
+                            if let Some(end) = tail.find(')') {
+                                waivers.push(Waiver {
+                                    rule: tail[..end].trim().to_string(),
+                                    line: idx + 1,
+                                });
+                            }
                         }
                     }
                     // Region directives must *lead* the comment, so prose
@@ -501,6 +578,61 @@ fn cold_again() { let e = vec![3]; }
         let src = "let s = \"repolint-hot-start\";\nlet v = Vec::new();\n";
         let mut v = Vec::new();
         check_file("f.rs", src, false, false, false, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn stale_waivers_are_reported() {
+        let src = "\
+a.unwrap(); // repolint-allow(unwrap): checked above
+// repolint-allow(timing): nothing below reads the clock any more
+let x = 1;
+";
+        let mut v = Vec::new();
+        check_file("f.rs", src, true, true, true, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].starts_with("f.rs:2:") && v[0].contains("[stale-waiver]"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn waiver_over_matching_pattern_is_used_even_when_rule_is_off() {
+        // unwrap does not apply (binary code), but the pattern matches:
+        // the waiver is not stale, and nothing else fires.
+        let src = "a.unwrap(); // repolint-allow(unwrap): startup path, panic is fine\n";
+        let mut v = Vec::new();
+        check_file("f.rs", src, false, true, true, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn waivers_in_test_code_are_exempt_from_staleness() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    // repolint-allow(unwrap): test scaffolding
+    fn t() {}
+}
+";
+        let mut v = Vec::new();
+        check_file("f.rs", src, true, true, true, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn doc_comments_do_not_mint_waivers() {
+        // A doc comment showing the waiver syntax must not create a
+        // (necessarily stale) waiver.
+        let src = "\
+//! ```text
+//! // repolint-allow(unwrap): length checked two lines above
+//! ```
+fn f() {}
+";
+        let mut v = Vec::new();
+        check_file("f.rs", src, true, true, true, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 

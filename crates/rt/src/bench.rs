@@ -30,6 +30,7 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
+        // detlint-allow(D004): BILLCAP_BENCH_FAST shortens harness budgets; not decision state
         if std::env::var("BILLCAP_BENCH_FAST")
             .map(|v| v == "1")
             .unwrap_or(false)
@@ -121,9 +122,11 @@ impl Harness {
             return;
         }
         // Warm-up: run until the warm-up budget elapses (at least once).
+        // detlint-allow(D003): benchmark harness measures wall time by design
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
         let mut one_iter_ns = loop {
+            // detlint-allow(D003): benchmark harness measures wall time by design
             let t = Instant::now();
             black_box(f());
             let ns = t.elapsed().as_nanos() as f64;
@@ -141,6 +144,7 @@ impl Harness {
 
         let mut per_iter_ns: Vec<f64> = (0..self.config.samples.max(1))
             .map(|_| {
+                // detlint-allow(D003): benchmark harness measures wall time by design
                 let t = Instant::now();
                 for _ in 0..iters {
                     black_box(f());
@@ -159,6 +163,7 @@ impl Harness {
         let result = BenchResult {
             name: name.to_string(),
             median_ns,
+            // detlint-allow(D006): sequential fixed-order mean over timing samples; reporting only
             mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
             min_ns: per_iter_ns[0],
             max_ns: per_iter_ns[n - 1],

@@ -35,6 +35,7 @@ use std::sync::{Mutex, PoisonError};
 /// Default worker count: `BILLCAP_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism (1 if unknown).
 pub fn num_threads() -> usize {
+    // detlint-allow(D004): BILLCAP_THREADS sizes the pool; results are thread-count-invariant by contract
     if let Ok(raw) = std::env::var("BILLCAP_THREADS") {
         if let Ok(n) = raw.trim().parse::<usize>() {
             if n > 0 {

@@ -924,6 +924,7 @@ impl SeedStability {
             .collect();
         let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // detlint-allow(D006): sequential fixed-order mean over per-seed values; bitwise-stable
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         (min, mean, max)
     }

@@ -51,6 +51,7 @@ impl Budgeter {
             "need at least one week of history"
         );
         let profile = history.hour_of_week_profile();
+        // detlint-allow(D006): sequential fixed-order sum over the 168-hour profile; bitwise-stable
         let total: f64 = profile.iter().sum();
         let mut weights = [1.0 / HOURS_PER_WEEK as f64; HOURS_PER_WEEK];
         if total > 0.0 {

@@ -141,6 +141,7 @@ impl TraceGenerator {
             let u2: f64 = rng.random::<f64>();
             let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             let noise = (1.0 + c.noise_std * gauss).max(0.05);
+            // detlint-allow(D006): sequential fixed-order sum over flash-crowd boosts; bitwise-stable
             let flash: f64 = c.flash_crowds.iter().map(|f| f.boost_at(t)).sum();
             values.push(c.mean_rate * diurnal * weekly * growth * noise * (1.0 + flash));
         }
